@@ -1,0 +1,128 @@
+"""Ablation benchmarks: each order-optimization technique in isolation.
+
+These back the Section 8 discussion ("queries in these environments
+frequently include a lot of redundancy — grouping on key columns,
+sorting on columns that are bound to constants through predicates") by
+turning one technique off at a time on a warehouse-style workload.
+"""
+
+import pytest
+
+from repro.api import run_query
+from repro.bench.experiments import db2_faithful_config
+from repro.optimizer.plan import OpKind
+from repro.tpcd import QUERY_3
+
+REDUNDANT_SQL = (
+    "select id, cat, region, sum(amount) as total "
+    "from sku, sales where id = sku_id and region = 3 "
+    "group by id, cat, region order by region, id"
+)
+
+COVER_SQL = (
+    "select cat, region, sum(amount) as total "
+    "from sku, sales where id = sku_id "
+    "group by cat, region order by region"
+)
+
+
+class TestReduceAblation:
+    def test_with_reduction(self, benchmark, warehouse_db):
+        config = db2_faithful_config(True)
+        result = benchmark.pedantic(
+            lambda: run_query(warehouse_db, REDUNDANT_SQL, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        sorts = result.plan.find_all(OpKind.SORT)
+        benchmark.extra_info["sort_columns"] = [
+            len(node.args["order"]) for node in sorts
+        ]
+        # Reduction strips region (constant) and cat (key-determined):
+        # any sort needed is on a single column.
+        assert all(len(node.args["order"]) == 1 for node in sorts)
+
+    def test_without_reduction(self, benchmark, warehouse_db):
+        config = db2_faithful_config(True)
+        config.enable_reduction = False
+        config.enable_general_orders = False
+        result = benchmark.pedantic(
+            lambda: run_query(warehouse_db, REDUNDANT_SQL, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        sorts = result.plan.find_all(OpKind.SORT)
+        benchmark.extra_info["sort_columns"] = [
+            len(node.args["order"]) for node in sorts
+        ]
+        assert any(len(node.args["order"]) >= 2 for node in sorts)
+
+
+class TestCoverAblation:
+    def test_with_cover(self, benchmark, warehouse_db):
+        config = db2_faithful_config(True)
+        result = benchmark.pedantic(
+            lambda: run_query(warehouse_db, COVER_SQL, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        # One sort serves GROUP BY and ORDER BY.
+        assert not any(
+            node.args.get("reason") == "order by"
+            for node in result.plan.find_all(OpKind.SORT)
+        )
+
+    def test_without_cover(self, benchmark, warehouse_db):
+        config = db2_faithful_config(True)
+        config.enable_cover = False
+        result = benchmark.pedantic(
+            lambda: run_query(warehouse_db, COVER_SQL, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        benchmark.extra_info["sorts"] = result.plan.sort_count()
+        assert result.rows
+
+
+class TestSortAheadAblation:
+    def test_with_sort_ahead(self, benchmark, tpcd_db):
+        config = db2_faithful_config(True)
+        result = benchmark.pedantic(
+            lambda: run_query(tpcd_db, QUERY_3, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        benchmark.extra_info["est_ms"] = round(result.plan.cost.total_ms)
+
+    def test_without_sort_ahead(self, benchmark, tpcd_db):
+        config = db2_faithful_config(True)
+        config.enable_sort_ahead = False
+        result = benchmark.pedantic(
+            lambda: run_query(tpcd_db, QUERY_3, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        benchmark.extra_info["est_ms"] = round(result.plan.cost.total_ms)
+
+
+class TestHashExtension:
+    """Section 1's recommendation: consider hash AND order-based plans."""
+
+    def test_sort_based_repertoire(self, benchmark, tpcd_db):
+        config = db2_faithful_config(True)
+        result = benchmark.pedantic(
+            lambda: run_query(tpcd_db, QUERY_3, config=config),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.rows
+
+    def test_hash_enabled_repertoire(self, benchmark, tpcd_db):
+        from repro import OptimizerConfig
+
+        result = benchmark.pedantic(
+            lambda: run_query(tpcd_db, QUERY_3, config=OptimizerConfig()),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.rows

@@ -1,0 +1,63 @@
+"""Microbenchmarks of the four fundamental operations (Figures 2-5).
+
+The paper's operations run inside the planner's inner loop (every plan
+comparison calls Test Order), so their constant factors matter; these
+benchmarks track them.
+"""
+
+import pytest
+
+from repro.core import (
+    GeneralOrderSpec,
+    OrderContext,
+    OrderSpec,
+    cover_order,
+    homogenize_order,
+    reduce_order,
+)
+from repro.core import test_order as check_order
+from repro.core.fd import fd
+from repro.expr import col
+
+COLUMNS = [col("t", f"c{i}") for i in range(8)]
+OTHER = [col("u", f"c{i}") for i in range(8)]
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = OrderContext.empty()
+    for mine, theirs in zip(COLUMNS[:4], OTHER[:4]):
+        ctx = ctx.with_equality(mine, theirs)
+    ctx = ctx.with_constant(COLUMNS[5])
+    ctx = ctx.with_fd(fd([COLUMNS[0]], [COLUMNS[1]]))
+    ctx = ctx.with_key(COLUMNS[:2])
+    return ctx
+
+
+SPEC = OrderSpec.of(*COLUMNS[:6])
+PROPERTY = OrderSpec.of(*COLUMNS[:3])
+
+
+def test_reduce_order(benchmark, context):
+    reduced = benchmark(lambda: reduce_order(SPEC, context))
+    assert len(reduced) <= len(SPEC)
+
+
+def test_test_order(benchmark, context):
+    benchmark(lambda: check_order(SPEC, PROPERTY, context))
+
+
+def test_cover_order(benchmark, context):
+    benchmark(lambda: cover_order(PROPERTY, SPEC, context))
+
+
+def test_homogenize_order(benchmark, context):
+    result = benchmark(
+        lambda: homogenize_order(OrderSpec.of(*COLUMNS[:3]), OTHER, context)
+    )
+    assert result is not None
+
+
+def test_general_order_satisfaction(benchmark, context):
+    general = GeneralOrderSpec.from_group_by(COLUMNS[:4])
+    benchmark(lambda: general.satisfied_by(PROPERTY, context))

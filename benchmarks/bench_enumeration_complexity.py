@@ -1,0 +1,92 @@
+"""Section 5.2: join-enumeration complexity vs sort-ahead order count.
+
+"It is possible to show that the complexity of join enumeration
+increases by a factor of O(n^2) for n sort-ahead orders. In practice,
+this has not been a problem, since typically n < 3."
+
+We enumerate a 5-way join chain with n = 0..4 synthetic interesting
+orders and record the number of plans generated; the benchmark times the
+n = 0 and n = 4 extremes and asserts superlinear-but-bounded growth.
+"""
+
+import random
+
+import pytest
+
+from repro import Column, Database, Index, OptimizerConfig, TableSchema
+from repro.core.ordering import OrderSpec
+from repro.expr.nodes import ColumnRef
+from repro.optimizer.enumerate import enumerate_joins
+from repro.optimizer.planner import PlannerContext
+from repro.parser import parse_query
+from repro.qgm import normalize, rewrite
+from repro.sqltypes import INTEGER
+
+TABLES = 5
+ALIASES = [f"t{i}" for i in range(TABLES)]
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    rng = random.Random(52)
+    database = Database()
+    for alias in ALIASES:
+        database.create_table(
+            TableSchema(
+                alias,
+                [Column("k", INTEGER, nullable=False), Column("v", INTEGER)],
+                primary_key=("k",),
+            ),
+            rows=[(i, rng.randint(0, 99)) for i in range(300)],
+        )
+        database.create_index(
+            Index.on(f"{alias}_k", alias, ["k"], unique=True, clustered=True)
+        )
+    return database
+
+
+@pytest.fixture(scope="module")
+def chain_block(chain_db):
+    joins = " and ".join(
+        f"{ALIASES[i]}.k = {ALIASES[i + 1]}.k" for i in range(TABLES - 1)
+    )
+    sql = (
+        "select "
+        + ", ".join(f"{alias}.v" for alias in ALIASES)
+        + " from "
+        + ", ".join(ALIASES)
+        + f" where {joins}"
+    )
+    return normalize(rewrite(parse_query(sql, chain_db.catalog)))
+
+
+def enumerate_with_orders(database, block, order_count):
+    planner = PlannerContext.build(database, OptimizerConfig(), block)
+    planner.interesting_orders = [
+        OrderSpec.of(ColumnRef(ALIASES[i], "v")) for i in range(order_count)
+    ]
+    enumerate_joins(planner)
+    return planner.stats.plans_generated
+
+
+@pytest.mark.parametrize("order_count", [0, 2, 4])
+def test_enumeration_time(benchmark, chain_db, chain_block, order_count):
+    plans = benchmark.pedantic(
+        lambda: enumerate_with_orders(chain_db, chain_block, order_count),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["plans_generated"] = plans
+    benchmark.extra_info["sort_ahead_orders"] = order_count
+
+
+def test_growth_is_superlinear_but_bounded(chain_db, chain_block):
+    counts = [
+        enumerate_with_orders(chain_db, chain_block, n) for n in range(5)
+    ]
+    assert counts[0] > 0
+    # More sort-ahead orders -> more plans considered, monotonically.
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[4] > counts[0]
+    # ...but bounded: the paper's O(n^2) factor, not an explosion.
+    assert counts[4] <= counts[0] * (1 + 4) ** 2

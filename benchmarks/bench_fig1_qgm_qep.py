@@ -1,0 +1,34 @@
+"""Figure 1: the simple QGM/QEP example query.
+
+``select a.y, sum(b.y) from a, b where a.x = b.x group by a.y`` — the
+benchmark measures end-to-end optimize+execute, and asserts the QEP uses
+an order-based GROUP BY fed by ordered access (the figure's plan shape:
+sort/merge feeding GROUP BY, never a re-sort above the join).
+"""
+
+from repro.api import run_query
+from repro.optimizer.plan import OpKind
+
+SQL = (
+    "select a.y, sum(b.y) as total from a, b "
+    "where a.x = b.x group by a.y"
+)
+
+
+def test_figure1_query(benchmark, fig1_db, config_on):
+    result = benchmark.pedantic(
+        lambda: run_query(fig1_db, SQL, config=config_on),
+        rounds=5,
+        iterations=1,
+    )
+    plan = result.plan
+    benchmark.extra_info["plan"] = plan.explain(show_order=False)
+    assert plan.find_all(OpKind.GROUP_SORTED)
+    assert result.rows
+
+
+def test_figure1_planning_only(benchmark, fig1_db, config_on):
+    from repro.api import plan_query
+
+    plan = benchmark(lambda: plan_query(fig1_db, SQL, config=config_on))
+    assert plan.root is not None

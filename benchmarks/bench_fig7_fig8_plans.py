@@ -1,0 +1,52 @@
+"""Figures 7 and 8: Query 3 plan choice in both builds.
+
+These benchmarks time the *optimizer* (plan generation), since the
+figures are about plan choice; execution time is Table 1's benchmark.
+Shape assertions pin each figure's distinguishing features.
+"""
+
+from repro.api import plan_query
+from repro.optimizer.plan import OpKind
+from repro.tpcd import QUERY_3
+
+
+def test_figure7_plan_choice(benchmark, tpcd_db, config_on):
+    plan = benchmark(lambda: plan_query(tpcd_db, QUERY_3, config=config_on))
+    benchmark.extra_info["plan"] = plan.explain(show_order=False)
+    # Figure 7: ordered NLJ probing the clustered l_orderkey index...
+    ordered = [
+        node
+        for node in plan.find_all(OpKind.NLJ_INDEX)
+        if node.args.get("ordered")
+    ]
+    assert any(node.args["index"] == "idx_l_orderkey" for node in ordered)
+    # ...the sort below the join also satisfies the GROUP BY...
+    assert not any(
+        node.args.get("reason") == "group by"
+        for node in plan.find_all(OpKind.SORT)
+    )
+    assert plan.find_all(OpKind.GROUP_SORTED)
+    # ...and the only remaining sort is the ORDER BY on (rev desc, date).
+    top_sorts = [
+        node
+        for node in plan.find_all(OpKind.SORT)
+        if node.args.get("reason") == "order by"
+    ]
+    assert len(top_sorts) == 1
+
+
+def test_figure8_plan_choice(benchmark, tpcd_db, config_off):
+    plan = benchmark(lambda: plan_query(tpcd_db, QUERY_3, config=config_off))
+    benchmark.extra_info["plan"] = plan.explain(show_order=False)
+    # Figure 8: merge-join on the order key...
+    merges = plan.find_all(OpKind.MERGE_JOIN)
+    assert merges
+    # ...an extra sort feeding the GROUP BY...
+    assert any(
+        node.args.get("reason") == "group by"
+        for node in plan.find_all(OpKind.SORT)
+    )
+    # ...and no ordered-NLJ awareness.
+    assert not any(
+        node.args.get("ordered") for node in plan.find_all(OpKind.NLJ_INDEX)
+    )

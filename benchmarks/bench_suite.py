@@ -1,0 +1,62 @@
+"""The Section 8 'internal benchmarks' analog, per query.
+
+Each order-sensitive query of the suite experiment gets a timed pair
+(production / disabled) so pytest-benchmark's comparison view shows the
+per-technique win. `python -m repro.bench suite` prints the same data as
+one table with a geometric mean.
+"""
+
+import pytest
+
+from repro.api import execute, plan_query
+from repro.bench.experiments import db2_faithful_config
+from repro.tpcd import tpcd_query
+
+WAREHOUSE_QUERIES = {
+    "wh_keys": (
+        "select id, cat, region, sum(amount) as total from sku, sales "
+        "where id = sku_id group by id, cat, region order by id"
+    ),
+    "wh_const": (
+        "select id, region, sum(amount) as total from sku, sales "
+        "where id = sku_id and region = 3 "
+        "group by id, region order by region, id"
+    ),
+    "wh_permute": (
+        "select cat, region, sum(amount) as total from sku, sales "
+        "where id = sku_id group by cat, region order by region"
+    ),
+}
+
+
+def run_pair(benchmark, database, sql, order_optimization):
+    config = db2_faithful_config(order_optimization)
+    plan = plan_query(database, sql, config=config)
+    result = benchmark.pedantic(
+        lambda: execute(database, plan, cold_cache=True),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["sorts"] = plan.sort_count()
+    assert result.rows is not None
+    return plan
+
+
+@pytest.mark.parametrize("name", sorted(WAREHOUSE_QUERIES))
+def test_warehouse_production(benchmark, warehouse_db, name):
+    run_pair(benchmark, warehouse_db, WAREHOUSE_QUERIES[name], True)
+
+
+@pytest.mark.parametrize("name", sorted(WAREHOUSE_QUERIES))
+def test_warehouse_disabled(benchmark, warehouse_db, name):
+    run_pair(benchmark, warehouse_db, WAREHOUSE_QUERIES[name], False)
+
+
+@pytest.mark.parametrize("name", ["q1", "q3", "q4"])
+def test_tpcd_production(benchmark, tpcd_db, name):
+    run_pair(benchmark, tpcd_db, tpcd_query(name), True)
+
+
+@pytest.mark.parametrize("name", ["q1", "q3", "q4"])
+def test_tpcd_disabled(benchmark, tpcd_db, name):
+    run_pair(benchmark, tpcd_db, tpcd_query(name), False)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by the REPRO_BENCH_SF environment variable
+(default 0.01) so `pytest benchmarks/ --benchmark-only` stays fast while
+`REPRO_BENCH_SF=0.05 pytest benchmarks/ --benchmark-only` approaches the
+paper's regime more closely.
+"""
+
+import os
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.bench.experiments import (
+    _figure1_database,
+    _figure6_database,
+    _warehouse_database,
+    db2_faithful_config,
+)
+from repro.tpcd import build_tpcd_database
+
+
+def bench_scale_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_SF", "0.01"))
+
+
+@pytest.fixture(scope="session")
+def tpcd_db():
+    return build_tpcd_database(
+        scale_factor=bench_scale_factor(), buffer_pool_pages=1024
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_db():
+    return _figure1_database()
+
+
+@pytest.fixture(scope="session")
+def fig6_db():
+    return _figure6_database()
+
+
+@pytest.fixture(scope="session")
+def warehouse_db():
+    return _warehouse_database()
+
+
+@pytest.fixture
+def config_on() -> OptimizerConfig:
+    return db2_faithful_config(True)
+
+
+@pytest.fixture
+def config_off() -> OptimizerConfig:
+    return db2_faithful_config(False)

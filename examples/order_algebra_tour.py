@@ -1,0 +1,122 @@
+"""A tour of the paper's Section 4 operations, example by example.
+
+Every worked example from "Fundamental Techniques for Order
+Optimization" (Simmen, Shekita, Malkemus; SIGMOD '96), executed with the
+library's public order-algebra API.
+
+Run:  python examples/order_algebra_tour.py
+"""
+
+from repro import (
+    GeneralOrderSpec,
+    OrderContext,
+    OrderSpec,
+    col,
+    cover_order,
+    homogenize_order,
+    reduce_order,
+    test_order,
+)
+from repro.core.fd import fd
+from repro.expr import Comparison, ComparisonOp, lit
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+AX, AY = col("a", "x"), col("a", "y")
+BX, BY = col("b", "x"), col("b", "y")
+
+
+def heading(text: str) -> None:
+    print()
+    print(text)
+    print("-" * len(text))
+
+
+def main() -> None:
+    print("Section 4 of the paper, as executable examples")
+
+    heading("4.1 Reduce Order: constants (predicate x = 10)")
+    context = OrderContext.from_predicates(
+        [Comparison(ComparisonOp.EQ, X, lit(10))]
+    )
+    interesting = OrderSpec.of(X, Y)
+    print(f"I = {interesting}, predicate x = 10")
+    print(f"reduced: {reduce_order(interesting, context)}")
+    print(f"OP = (t.y) satisfies I? {test_order(interesting, OrderSpec.of(Y), context)}")
+
+    heading("4.1 Reduce Order: equivalence classes (predicate x = y)")
+    context = OrderContext.empty().with_equality(X, Y)
+    interesting = OrderSpec.of(X, Z)
+    order_property = OrderSpec.of(Y, Z)
+    print(f"I = {interesting}, OP = {order_property}, predicate x = y")
+    print(f"I reduced:  {reduce_order(interesting, context)}")
+    print(f"OP reduced: {reduce_order(order_property, context)}")
+    print(f"OP satisfies I? {test_order(interesting, order_property, context)}")
+
+    heading("4.1 Reduce Order: keys ({x} -> everything)")
+    context = OrderContext.empty().with_key([X])
+    print(f"I = (t.x, t.y) with x a key: {reduce_order(OrderSpec.of(X, Y), context)}")
+    print(f"OP = (t.x, t.z) reduces to:  {reduce_order(OrderSpec.of(X, Z), context)}")
+    print(
+        "OP satisfies I? "
+        f"{test_order(OrderSpec.of(X, Y), OrderSpec.of(X, Z), context)}"
+    )
+
+    heading("4.1 Reduction to the empty order")
+    context = OrderContext.from_predicates(
+        [Comparison(ComparisonOp.EQ, X, lit(10))]
+    )
+    print(f"I = (t.x) with x = 10: {reduce_order(OrderSpec.of(X), context)!r}")
+    print("-> trivially satisfied by any stream")
+
+    heading("4.3 Cover Order")
+    context = OrderContext.empty()
+    print(
+        f"cover of (t.x) and (t.x, t.y): "
+        f"{cover_order(OrderSpec.of(X), OrderSpec.of(X, Y), context)}"
+    )
+    print(
+        f"cover of (t.y, t.x) and (t.x, t.y, t.z): "
+        f"{cover_order(OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z), context)}"
+    )
+    context = OrderContext.from_predicates(
+        [Comparison(ComparisonOp.EQ, X, lit(10))]
+    )
+    print(
+        f"...same, after applying x = 10: "
+        f"{cover_order(OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z), context)}"
+    )
+
+    heading("4.4 Homogenize Order (push-down through a join)")
+    context = OrderContext.empty().with_equality(AX, BX)
+    interesting = OrderSpec.of(AX, BY)
+    print(f"I = {interesting} from ORDER BY a.x, b.y; predicate a.x = b.x")
+    print(
+        f"homogenized to table b: "
+        f"{homogenize_order(interesting, [BX, BY], context)}"
+    )
+    print(
+        f"homogenized to table a: "
+        f"{homogenize_order(interesting, [AX, AY], context)}"
+    )
+    with_key_fd = context.with_fd(fd([AX], [BY]))
+    print(
+        f"...with {{a.x}} -> {{b.y}} (a.x stays a key): "
+        f"{homogenize_order(interesting, [AX, AY], with_key_fd)}"
+    )
+
+    heading("Section 7: degrees of freedom (the sixteen orders)")
+    general = GeneralOrderSpec.from_group_by_with_distinct_agg([X, Y], Z)
+    orders = general.enumerate_orders(limit=100)
+    print(f"GROUP BY x, y with SUM(DISTINCT z) admits {len(orders)} orders:")
+    for order in orders:
+        print(f"  {order}")
+    print(
+        f"(t.y desc, t.x, t.z desc) satisfies it? "
+        f"{general.satisfied_by(orders[-1], OrderContext.empty())}"
+    )
+    aligned = general.aligned_with(OrderSpec.of(X), OrderContext.empty())
+    print(f"aligned with ORDER BY (t.x): {aligned}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of "Fundamental Techniques for Order
+Optimization" (Simmen, Shekita, Malkemus; SIGMOD 1996).
+
+A self-contained relational query engine whose optimizer implements the
+paper's order algebra: Reduce Order, Test Order, Cover Order, Homogenize
+Order, sort-ahead, the property framework (order / predicate / key / FD
+properties), and Section 7's degrees-of-freedom orders.
+
+Quick start::
+
+    from repro import Database, TableSchema, Column, Index, INTEGER, run_query
+
+    db = Database()
+    db.create_table(
+        TableSchema("t", [Column("x", INTEGER), Column("y", INTEGER)],
+                    primary_key=("x",)),
+        rows=[(i, i % 10) for i in range(1000)],
+    )
+    db.create_index(Index.on("t_x", "t", ["x"], unique=True))
+    result = run_query(db, "select x, y from t where y = 3 order by x")
+    print(result.plan.explain())
+"""
+
+from repro.api import QueryResult, execute, plan_query, run_query
+from repro.catalog import Catalog, Column, Index, IndexColumn, TableSchema
+from repro.core import (
+    EquivalenceClasses,
+    FDSet,
+    FunctionalDependency,
+    GeneralOrderSpec,
+    OrderContext,
+    OrderKey,
+    OrderSpec,
+    SortDirection,
+    cover_order,
+    fd,
+    homogenize_order,
+    reduce_order,
+    test_order,
+)
+from repro.errors import ReproError
+from repro.expr import col, lit
+from repro.optimizer import Optimizer, OptimizerConfig, Plan
+from repro.sqltypes import BOOLEAN, DATE, DOUBLE, INTEGER, decimal_type, varchar
+from repro.storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryResult",
+    "execute",
+    "plan_query",
+    "run_query",
+    "Catalog",
+    "Column",
+    "Index",
+    "IndexColumn",
+    "TableSchema",
+    "EquivalenceClasses",
+    "FDSet",
+    "FunctionalDependency",
+    "GeneralOrderSpec",
+    "OrderContext",
+    "OrderKey",
+    "OrderSpec",
+    "SortDirection",
+    "cover_order",
+    "fd",
+    "homogenize_order",
+    "reduce_order",
+    "test_order",
+    "ReproError",
+    "col",
+    "lit",
+    "Optimizer",
+    "OptimizerConfig",
+    "Plan",
+    "BOOLEAN",
+    "DATE",
+    "DOUBLE",
+    "INTEGER",
+    "decimal_type",
+    "varchar",
+    "Database",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""High-level convenience API: run SQL end to end.
+
+This is what the examples and benchmarks use::
+
+    from repro import Database, run_query
+    result = run_query(db, "select ... order by ...")
+    print(result.plan.explain())
+    for row in result.rows:
+        ...
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cost.model import CostModel
+from repro.executor.build import build_executor
+from repro.executor.context import ExecutionContext
+from repro.optimizer import Optimizer, OptimizerConfig, Plan
+from repro.storage import Database
+from repro.storage.buffer import IoStats
+
+
+@dataclass
+class QueryResult:
+    """Everything one execution produced."""
+
+    rows: List[tuple]
+    column_names: Tuple[str, ...]
+    plan: Plan
+    elapsed_seconds: float
+    io_stats: IoStats
+    simulated_io_ms: float
+    spill_pages: int
+
+    @property
+    def simulated_elapsed_ms(self) -> float:
+        """Modelled elapsed time: simulated I/O + measured CPU."""
+        return self.simulated_io_ms + self.elapsed_seconds * 1000.0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def plan_query(
+    database: Database,
+    sql: str,
+    config: Optional[OptimizerConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Plan:
+    """Optimize ``sql`` without executing it."""
+    return Optimizer(database, config, cost_model).plan_sql(sql)
+
+
+def run_query(
+    database: Database,
+    sql: str,
+    config: Optional[OptimizerConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    cold_cache: bool = False,
+    parameters: Optional[dict] = None,
+) -> QueryResult:
+    """Optimize and execute ``sql``, measuring real and simulated time.
+
+    ``parameters`` binds host variables (``:name`` in the SQL text); the
+    plan is reusable across bindings — re-run with :func:`execute`.
+
+    A leading ``EXPLAIN`` keyword plans the query without executing it
+    and returns the plan rendering, one row per line (with per-node
+    cardinality and cost estimates).
+    """
+    stripped = sql.lstrip()
+    if stripped[:8].lower() == "explain " or stripped.lower() == "explain":
+        inner = stripped[8:]
+        plan = plan_query(database, inner, config, cost_model)
+        lines = plan.explain(show_cost=True).splitlines()
+        return QueryResult(
+            rows=[(line,) for line in lines],
+            column_names=("plan",),
+            plan=plan,
+            elapsed_seconds=0.0,
+            io_stats=IoStats(),
+            simulated_io_ms=0.0,
+            spill_pages=0,
+        )
+    plan = plan_query(database, sql, config, cost_model)
+    return execute(database, plan, cold_cache=cold_cache, parameters=parameters)
+
+
+def execute(
+    database: Database,
+    plan: Plan,
+    cold_cache: bool = False,
+    parameters: Optional[dict] = None,
+) -> QueryResult:
+    """Execute an existing plan, measuring real and simulated time."""
+    database.reset_io(cold=cold_cache)
+    context = ExecutionContext(database)
+    operator = build_executor(plan, database, parameters)
+    started = time.perf_counter()
+    rows = operator.execute(context)
+    elapsed = time.perf_counter() - started
+    stats = database.buffer_pool.stats.snapshot()
+    return QueryResult(
+        rows=rows,
+        column_names=plan.output_names,
+        plan=plan,
+        elapsed_seconds=elapsed,
+        io_stats=stats,
+        simulated_io_ms=context.simulated_io_ms(),
+        spill_pages=context.spill_pages,
+    )

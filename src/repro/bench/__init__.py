@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.bench list           # available experiments
+    python -m repro.bench table1         # Table 1 (Q3 elapsed times)
+    python -m repro.bench fig7 fig8      # plan figures
+    python -m repro.bench all --sf 0.02  # everything
+
+or programmatically::
+
+    from repro.bench import run_experiment
+    report = run_experiment("table1", scale_factor=0.02)
+    print(report.render())
+"""
+
+from repro.bench.harness import (
+    ExperimentReport,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = ["ExperimentReport", "available_experiments", "run_experiment"]

@@ -1,0 +1,98 @@
+"""Experiment registry and report rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's outcome in paper-comparable form."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str] = ()
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    text_blocks: List[Tuple[str, str]] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def add_block(self, caption: str, text: str) -> None:
+        self.text_blocks.append((caption, text))
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.headers and self.rows:
+            widths = [
+                max(
+                    len(str(self.headers[i])),
+                    *(len(str(row[i])) for row in self.rows),
+                )
+                for i in range(len(self.headers))
+            ]
+            header = "  ".join(
+                str(head).ljust(width)
+                for head, width in zip(self.headers, widths)
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(
+                        str(value).ljust(width)
+                        for value, width in zip(row, widths)
+                    )
+                )
+        for caption, text in self.text_blocks:
+            lines.append("")
+            lines.append(f"-- {caption} --")
+            lines.append(text)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Tuple[str, Callable[..., ExperimentReport]]] = {}
+
+
+def experiment(experiment_id: str, title: str):
+    """Decorator registering an experiment function."""
+
+    def register(function: Callable[..., ExperimentReport]):
+        _REGISTRY[experiment_id] = (title, function)
+        return function
+
+    return register
+
+
+def available_experiments() -> List[Tuple[str, str]]:
+    """(id, title) pairs for every registered experiment."""
+    _ensure_loaded()
+    return [(key, value[0]) for key, value in sorted(_REGISTRY.items())]
+
+
+def run_experiment(experiment_id: str, **parameters) -> ExperimentReport:
+    """Run one experiment by id."""
+    _ensure_loaded()
+    try:
+        _title, function = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return function(**parameters)
+
+
+def _ensure_loaded() -> None:
+    # Experiments register on import; import lazily to avoid cycles.
+    from repro.bench import experiments  # noqa: F401

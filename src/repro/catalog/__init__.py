@@ -1,0 +1,23 @@
+"""Catalog: schemas, keys, indexes, and statistics.
+
+The catalog is the optimizer's source of the facts that seed order
+optimization — primary/unique keys (which become ``K -> *`` FDs) and
+indexes (whose key order becomes an order property of index scans).
+"""
+
+from repro.catalog.column import Column
+from repro.catalog.stats import ColumnStats, Histogram, TableStats
+from repro.catalog.table import TableSchema
+from repro.catalog.index import Index, IndexColumn
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Column",
+    "ColumnStats",
+    "Histogram",
+    "TableStats",
+    "TableSchema",
+    "Index",
+    "IndexColumn",
+    "Catalog",
+]

@@ -1,0 +1,86 @@
+"""The catalog: a registry of tables and indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.index import Index
+from repro.catalog.table import TableSchema
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Registry of table schemas and their indexes."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableSchema] = {}
+        self._indexes: Dict[str, Index] = {}
+
+    def create_table(self, schema: TableSchema) -> TableSchema:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name} already exists")
+        self._tables[key] = schema
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table {name}")
+        del self._tables[key]
+        for index_name in [
+            index.name
+            for index in self._indexes.values()
+            if index.table_name.lower() == key
+        ]:
+            del self._indexes[index_name.lower()]
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[TableSchema]:
+        return list(self._tables.values())
+
+    def create_index(self, index: Index) -> Index:
+        if index.name.lower() in self._indexes:
+            raise CatalogError(f"index {index.name} already exists")
+        table = self.table(index.table_name)
+        for column_name in index.key_names:
+            if not table.has_column(column_name):
+                raise CatalogError(
+                    f"index {index.name} references missing column "
+                    f"{index.table_name}.{column_name}"
+                )
+        self._indexes[index.name.lower()] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name.lower() not in self._indexes:
+            raise CatalogError(f"no index {name}")
+        del self._indexes[name.lower()]
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no index {name}") from None
+
+    def indexes_on(self, table_name: str) -> List[Index]:
+        wanted = table_name.lower()
+        return [
+            index
+            for index in self._indexes.values()
+            if index.table_name.lower() == wanted
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Catalog({len(self._tables)} tables, "
+            f"{len(self._indexes)} indexes)"
+        )

@@ -1,0 +1,20 @@
+"""Column definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqltypes import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    datatype: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        suffix = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.datatype}{suffix}"

@@ -1,0 +1,79 @@
+"""Index definitions.
+
+An index's key order is how "free" interesting orders enter a plan: an
+ordered scan of an index on ``(x ASC, y DESC)`` produces a stream whose
+order property is exactly that spec (or its reversal, scanning backward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.ordering import OrderKey, OrderSpec, SortDirection
+from repro.errors import CatalogError
+from repro.expr.nodes import ColumnRef
+
+
+@dataclass(frozen=True)
+class IndexColumn:
+    """One column of an index key with its declared direction."""
+
+    name: str
+    direction: SortDirection = SortDirection.ASC
+
+
+class Index:
+    """A B+-tree index over one table."""
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        key: Sequence[IndexColumn],
+        unique: bool = False,
+        clustered: bool = False,
+    ):
+        if not key:
+            raise CatalogError(f"index {name} needs at least one key column")
+        self.name = name
+        self.table_name = table_name
+        self.key: Tuple[IndexColumn, ...] = tuple(key)
+        self.unique = unique
+        self.clustered = clustered
+
+    @classmethod
+    def on(
+        cls,
+        name: str,
+        table_name: str,
+        column_names: Sequence[str],
+        unique: bool = False,
+        clustered: bool = False,
+    ) -> "Index":
+        """Convenience constructor with all-ascending key columns."""
+        return cls(
+            name,
+            table_name,
+            [IndexColumn(column_name) for column_name in column_names],
+            unique=unique,
+            clustered=clustered,
+        )
+
+    @property
+    def key_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.key)
+
+    def order_spec(self, qualifier: str) -> OrderSpec:
+        """The order property an ordered forward scan provides."""
+        return OrderSpec(
+            OrderKey(ColumnRef(qualifier, column.name), column.direction)
+            for column in self.key
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unique " if self.unique else ""
+        return (
+            f"Index({self.name}: {kind}on {self.table_name}"
+            f"({', '.join(self.key_names)}))"
+        )

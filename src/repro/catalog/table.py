@@ -1,0 +1,103 @@
+"""Table schemas: column layout plus declared keys."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.column import Column
+from repro.catalog.stats import TableStats
+from repro.errors import CatalogError
+
+
+class TableSchema:
+    """A base table's definition.
+
+    Keys (the primary key and any unique constraints) matter to order
+    optimization: each key ``K`` contributes the FD ``K -> all columns``
+    to streams scanning the table (Section 4.1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        unique_keys: Sequence[Sequence[str]] = (),
+    ):
+        if not columns:
+            raise CatalogError(f"table {name} needs at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {column.name} in table {name}"
+                )
+            self._by_name[column.name] = column
+        self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        self.unique_keys: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(key) for key in unique_keys
+        )
+        for key in (self.primary_key,) + self.unique_keys:
+            for column_name in key:
+                if column_name not in self._by_name:
+                    raise CatalogError(
+                        f"key column {column_name} not in table {name}"
+                    )
+        self.stats = TableStats()
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name} in table {self.name}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def position(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise CatalogError(f"no column {name} in table {self.name}")
+
+    def keys(self) -> List[Tuple[str, ...]]:
+        """Every declared key (primary first), without duplicates."""
+        found: List[Tuple[str, ...]] = []
+        if self.primary_key:
+            found.append(self.primary_key)
+        for key in self.unique_keys:
+            if key not in found:
+                found.append(key)
+        return found
+
+    def row_width(self) -> int:
+        """Estimated record width in bytes (for paging and cost)."""
+        return sum(column.datatype.width for column in self.columns) + 4
+
+    def validate_row(self, row: Sequence) -> Tuple:
+        """Type-check and coerce one row against this schema."""
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row arity {len(row)} != {len(self.columns)} "
+                f"for table {self.name}"
+            )
+        coerced = []
+        for column, value in zip(self.columns, row):
+            checked = column.datatype.validate(value)
+            if checked is None and not column.nullable:
+                raise CatalogError(
+                    f"NULL in NOT NULL column {self.name}.{column.name}"
+                )
+            coerced.append(checked)
+        return tuple(coerced)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableSchema({self.name})"

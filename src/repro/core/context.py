@@ -1,0 +1,138 @@
+"""The reduction context: everything *Reduce Order* consumes.
+
+A stream's applied predicates, keys, and inherited FDs collapse into one
+:class:`OrderContext` holding
+
+* an :class:`~repro.core.equivalence.EquivalenceClasses` partition, and
+* an :class:`~repro.core.fd.FDSet` that already encodes constants
+  (``{} -> {c}``), equivalences (both directions), and keys (``K -> *``).
+
+Contexts are cheap to build and immutable by convention; the property
+machinery derives one per stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.fd import (
+    FDSet,
+    FunctionalDependency,
+    constant_fd,
+    fd,
+    key_fd,
+)
+from repro.expr.analysis import PredicateFacts, analyze_predicates
+from repro.expr.nodes import ColumnRef, Expression
+
+
+class OrderContext:
+    """Bundle of equivalence classes + FDs used by the order operations."""
+
+    def __init__(
+        self,
+        equivalences: Optional[EquivalenceClasses] = None,
+        fds: Optional[FDSet] = None,
+        constants: Iterable[ColumnRef] = (),
+    ):
+        self.equivalences = equivalences or EquivalenceClasses()
+        self.fds = fds or FDSet()
+        self.constants: Set[ColumnRef] = set(constants)
+        # Materialize the FD forms of constants and equivalences so the
+        # closure machinery sees one uniform FD set, as in the paper.
+        for column in self.constants:
+            self.fds = self.fds.add(constant_fd(column))
+        for group in self.equivalences.classes():
+            ordered = sorted(group, key=lambda c: (c.qualifier, c.name))
+            for index, left in enumerate(ordered):
+                for right in ordered[index + 1 :]:
+                    self.fds = self.fds.add(fd([left], [right]))
+                    self.fds = self.fds.add(fd([right], [left]))
+
+    @classmethod
+    def empty(cls) -> "OrderContext":
+        return cls()
+
+    @classmethod
+    def from_predicates(
+        cls,
+        predicates: Iterable[Expression],
+        keys: Iterable[Sequence[ColumnRef]] = (),
+        extra_fds: Optional[FDSet] = None,
+    ) -> "OrderContext":
+        """Build a context from applied predicates and known keys."""
+        facts = analyze_predicates(predicates)
+        return cls.from_facts(facts, keys=keys, extra_fds=extra_fds)
+
+    @classmethod
+    def from_facts(
+        cls,
+        facts: PredicateFacts,
+        keys: Iterable[Sequence[ColumnRef]] = (),
+        extra_fds: Optional[FDSet] = None,
+    ) -> "OrderContext":
+        """Build a context from pre-mined predicate facts."""
+        equivalences = EquivalenceClasses(facts.equalities)
+        fds = extra_fds or FDSet()
+        for key_columns in keys:
+            fds = fds.add(key_fd(key_columns))
+        return cls(
+            equivalences=equivalences,
+            fds=fds,
+            constants=facts.constant_bindings.keys(),
+        )
+
+    def with_key(self, key_columns: Sequence[ColumnRef]) -> "OrderContext":
+        """A new context that additionally knows ``key_columns`` is a key."""
+        return OrderContext(
+            equivalences=self.equivalences.copy(),
+            fds=self.fds.add(key_fd(key_columns)),
+            constants=self.constants,
+        )
+
+    def with_fd(self, dependency: FunctionalDependency) -> "OrderContext":
+        """A new context with one extra FD."""
+        return OrderContext(
+            equivalences=self.equivalences.copy(),
+            fds=self.fds.add(dependency),
+            constants=self.constants,
+        )
+
+    def with_equality(self, left: ColumnRef, right: ColumnRef) -> "OrderContext":
+        """A new context that additionally knows ``left = right``."""
+        equivalences = self.equivalences.copy()
+        equivalences.add_equality(left, right)
+        return OrderContext(
+            equivalences=equivalences,
+            fds=self.fds,
+            constants=self.constants,
+        )
+
+    def with_constant(self, column: ColumnRef) -> "OrderContext":
+        """A new context that additionally knows ``column = constant``."""
+        return OrderContext(
+            equivalences=self.equivalences.copy(),
+            fds=self.fds,
+            constants=self.constants | {column},
+        )
+
+    def merged_with(self, other: "OrderContext") -> "OrderContext":
+        """Union of two contexts (e.g. both join inputs' contexts)."""
+        return OrderContext(
+            equivalences=self.equivalences.merged_with(other.equivalences),
+            fds=self.fds.union(other.fds),
+            constants=self.constants | other.constants,
+        )
+
+    def is_constant(self, column: ColumnRef) -> bool:
+        """Whether ``column`` is bound to a constant (directly or via FDs)."""
+        if column in self.constants:
+            return True
+        return self.fds.determines((), column)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OrderContext(eq={self.equivalences!r}, fds={self.fds!r}, "
+            f"constants={sorted(str(c) for c in self.constants)})"
+        )

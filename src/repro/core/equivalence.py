@@ -1,0 +1,115 @@
+"""Column equivalence classes.
+
+``col = col`` predicates partition columns into equivalence classes
+(Section 4.1). Reduction rewrites every column to its class *head* — a
+deterministic representative — so two specifications that differ only in
+which class member they name compare equal afterwards.
+
+Implemented as a union-find with deterministic head selection: the head
+of a class is its lexicographically smallest member, so rewriting does
+not depend on insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.expr.nodes import ColumnRef
+
+
+def _column_sort_token(column: ColumnRef) -> Tuple[str, str]:
+    return (column.qualifier, column.name)
+
+
+class EquivalenceClasses:
+    """A union-find over column references with stable heads."""
+
+    def __init__(self, equalities: Iterable[Tuple[ColumnRef, ColumnRef]] = ()):
+        self._parent: Dict[ColumnRef, ColumnRef] = {}
+        for left, right in equalities:
+            self.add_equality(left, right)
+
+    def copy(self) -> "EquivalenceClasses":
+        duplicate = EquivalenceClasses()
+        duplicate._parent = dict(self._parent)
+        return duplicate
+
+    def _find(self, column: ColumnRef) -> ColumnRef:
+        root = column
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent.get(column, column) != root:
+            self._parent[column], column = root, self._parent[column]
+        return root
+
+    def add_equality(self, left: ColumnRef, right: ColumnRef) -> None:
+        """Merge the classes of ``left`` and ``right``."""
+        self._parent.setdefault(left, left)
+        self._parent.setdefault(right, right)
+        left_root, right_root = self._find(left), self._find(right)
+        if left_root == right_root:
+            return
+        # Keep the lexicographically smaller root so heads are stable.
+        if _column_sort_token(right_root) < _column_sort_token(left_root):
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+
+    def head(self, column: ColumnRef) -> ColumnRef:
+        """The designated representative of ``column``'s class.
+
+        A column never mentioned in any equality is its own head.
+        """
+        if column not in self._parent:
+            return column
+        return self._find(column)
+
+    def are_equivalent(self, left: ColumnRef, right: ColumnRef) -> bool:
+        if left == right:
+            return True
+        if left not in self._parent or right not in self._parent:
+            return False
+        return self._find(left) == self._find(right)
+
+    def members(self, column: ColumnRef) -> FrozenSet[ColumnRef]:
+        """Every column equivalent to ``column`` (including itself)."""
+        if column not in self._parent:
+            return frozenset((column,))
+        root = self._find(column)
+        return frozenset(
+            candidate
+            for candidate in self._parent
+            if self._find(candidate) == root
+        )
+
+    def classes(self) -> List[FrozenSet[ColumnRef]]:
+        """All non-trivial classes (size >= 2)."""
+        by_root: Dict[ColumnRef, Set[ColumnRef]] = {}
+        for column in self._parent:
+            by_root.setdefault(self._find(column), set()).add(column)
+        return [
+            frozenset(group) for group in by_root.values() if len(group) >= 2
+        ]
+
+    def merged_with(self, other: "EquivalenceClasses") -> "EquivalenceClasses":
+        """A new instance containing both partitions' equalities."""
+        merged = self.copy()
+        for group in other.classes():
+            ordered = sorted(group, key=_column_sort_token)
+            anchor = ordered[0]
+            for column in ordered[1:]:
+                merged.add_equality(anchor, column)
+        return merged
+
+    def __iter__(self) -> Iterator[ColumnRef]:
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self.classes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = [
+            "{" + ", ".join(sorted(str(column) for column in group)) + "}"
+            for group in self.classes()
+        ]
+        return "EquivalenceClasses(" + ", ".join(sorted(rendered)) + ")"

@@ -1,0 +1,166 @@
+"""Functional dependencies and attribute-set closure.
+
+Section 4.1 frames every order-relevant fact as a functional dependency:
+
+* ``col = constant``      gives the empty-headed FD ``{} -> {col}``;
+* ``x = y``               gives ``{x} -> {y}`` and ``{y} -> {x}``;
+* a key ``K``             gives ``K -> {all columns}``;
+* trivially ``{c} -> {c}``.
+
+Reduction then asks one question repeatedly: *does this set of columns
+functionally determine that column?* — answered here with the textbook
+attribute-closure algorithm [Beeri & Bernstein '79, as cited via DD92].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Set, Tuple
+
+from repro.errors import OrderError
+from repro.expr.nodes import ColumnRef
+
+ColumnSet = FrozenSet[ColumnRef]
+
+# Marker used in the tail of a key FD meaning "every column of the stream".
+# Keys determine all columns, including ones added later by joins, so the
+# tail cannot be enumerated at FD-creation time.
+ALL_COLUMNS = "*"
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``head -> tail``; ``tail`` may be the ALL_COLUMNS marker for keys."""
+
+    head: ColumnSet
+    tail: object  # ColumnSet or the ALL_COLUMNS marker
+
+    def __post_init__(self):
+        if self.tail is not ALL_COLUMNS and not isinstance(self.tail, frozenset):
+            raise OrderError(f"bad FD tail {self.tail!r}")
+
+    def determines_all(self) -> bool:
+        return self.tail is ALL_COLUMNS
+
+    def is_empty_headed(self) -> bool:
+        """Empty-headed FDs arise from ``col = constant`` predicates."""
+        return not self.head
+
+    def __str__(self) -> str:
+        head = "{" + ", ".join(sorted(str(column) for column in self.head)) + "}"
+        if self.determines_all():
+            return f"{head} -> *"
+        tail = "{" + ", ".join(sorted(str(column) for column in self.tail)) + "}"
+        return f"{head} -> {tail}"
+
+
+def fd(head: Iterable[ColumnRef], tail: Iterable[ColumnRef]) -> FunctionalDependency:
+    """Shorthand constructor: ``fd([x], [y])`` is ``{x} -> {y}``."""
+    return FunctionalDependency(frozenset(head), frozenset(tail))
+
+
+def key_fd(key_columns: Iterable[ColumnRef]) -> FunctionalDependency:
+    """The FD contributed by a key: ``K -> all columns``."""
+    return FunctionalDependency(frozenset(key_columns), ALL_COLUMNS)
+
+
+def constant_fd(column: ColumnRef) -> FunctionalDependency:
+    """The empty-headed FD from ``column = constant``."""
+    return FunctionalDependency(frozenset(), frozenset((column,)))
+
+
+class FDSet:
+    """An immutable-by-convention collection of functional dependencies.
+
+    The only queries the order algebra needs are :meth:`closure` and
+    :meth:`determines`; both treat ``K -> *`` FDs as determining every
+    column whatsoever once the head is covered.
+    """
+
+    def __init__(self, dependencies: Iterable[FunctionalDependency] = ()):
+        self._fds: Tuple[FunctionalDependency, ...] = tuple(dependencies)
+
+    @property
+    def dependencies(self) -> Tuple[FunctionalDependency, ...]:
+        return self._fds
+
+    def add(self, dependency: FunctionalDependency) -> "FDSet":
+        """A new FDSet with ``dependency`` appended (no-op if present)."""
+        if dependency in self._fds:
+            return self
+        return FDSet(self._fds + (dependency,))
+
+    def union(self, other: "FDSet") -> "FDSet":
+        merged = list(self._fds)
+        for dependency in other._fds:
+            if dependency not in merged:
+                merged.append(dependency)
+        return FDSet(merged)
+
+    def closure(self, columns: Iterable[ColumnRef]) -> "_Closure":
+        """The attribute closure of ``columns`` under this FD set.
+
+        Returns a :class:`_Closure`, which answers membership queries and
+        knows whether a ``K -> *`` fired (in which case it contains every
+        column).
+        """
+        known: Set[ColumnRef] = set(columns)
+        determines_everything = False
+        changed = True
+        while changed and not determines_everything:
+            changed = False
+            for dependency in self._fds:
+                if not dependency.head <= known:
+                    continue
+                if dependency.determines_all():
+                    determines_everything = True
+                    break
+                if not dependency.tail <= known:
+                    known.update(dependency.tail)
+                    changed = True
+        return _Closure(frozenset(known), determines_everything)
+
+    def determines(
+        self, columns: Iterable[ColumnRef], target: ColumnRef
+    ) -> bool:
+        """Whether ``columns -> {target}`` follows from this FD set."""
+        return target in self.closure(columns)
+
+    def implies(self, dependency: FunctionalDependency) -> bool:
+        """Whether ``dependency`` follows from this FD set (Armstrong)."""
+        closure = self.closure(dependency.head)
+        if dependency.determines_all():
+            return closure.determines_everything
+        return all(column in closure for column in dependency.tail)
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "; ".join(str(dependency) for dependency in self._fds)
+        return f"FDSet[{inner}]"
+
+
+class _Closure:
+    """Result of an attribute-closure computation."""
+
+    __slots__ = ("columns", "determines_everything")
+
+    def __init__(self, columns: ColumnSet, determines_everything: bool):
+        self.columns = columns
+        self.determines_everything = determines_everything
+
+    def __contains__(self, column: ColumnRef) -> bool:
+        return self.determines_everything or column in self.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.determines_everything:
+            return "<closure: everything>"
+        inner = ", ".join(sorted(str(column) for column in self.columns))
+        return f"<closure: {inner}>"
+
+
+EMPTY_FDS = FDSet()

@@ -1,0 +1,93 @@
+"""*Homogenize Order* — Figure 5 of the paper.
+
+When an interesting order is pushed down (to one side of a join, into a
+view, ...), its columns must be re-expressed in the target context's
+columns. Equivalence classes license the substitution: ``(a.x, b.y)``
+homogenizes to table ``b`` as ``(b.x, b.y)`` when ``a.x = b.x``.
+
+Unlike reduction, homogenization may pick *any* class member (not just
+the head), and may use equivalences from predicates that have not been
+applied yet — it is about producing an order that will *eventually*
+satisfy the original (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.core.context import OrderContext
+from repro.core.ordering import OrderKey, OrderSpec
+from repro.core.reduce import reduce_order
+from repro.expr.nodes import ColumnRef
+
+
+def _substitute_key(
+    key: OrderKey,
+    targets: Set[ColumnRef],
+    context: OrderContext,
+) -> Optional[OrderKey]:
+    if key.column in targets:
+        return key
+    candidates = [
+        member
+        for member in context.equivalences.members(key.column)
+        if member in targets
+    ]
+    if not candidates:
+        return None
+    # Deterministic pick keeps plans stable across runs.
+    chosen = min(candidates, key=lambda c: (c.qualifier, c.name))
+    return key.with_column(chosen)
+
+
+def homogenize_order(
+    specification: OrderSpec,
+    target_columns: Iterable[ColumnRef],
+    context: OrderContext,
+) -> Optional[OrderSpec]:
+    """``specification`` re-expressed on ``target_columns``; None if impossible.
+
+    The specification is reduced first (Figure 5 line 1), so columns made
+    redundant by FDs do not block homogenization — the paper's example
+    where ``{a.x} -> {b.y}`` lets ``(a.x, b.y)`` push down to table ``a``.
+    """
+    targets = set(target_columns)
+    reduced = reduce_order(specification, context)
+    substituted: List[OrderKey] = []
+    seen: Set[ColumnRef] = set()
+    for key in reduced:
+        replacement = _substitute_key(key, targets, context)
+        if replacement is None:
+            return None
+        if replacement.column in seen:
+            continue
+        seen.add(replacement.column)
+        substituted.append(replacement)
+    return OrderSpec(substituted)
+
+
+def homogenize_prefix(
+    specification: OrderSpec,
+    target_columns: Iterable[ColumnRef],
+    context: OrderContext,
+) -> OrderSpec:
+    """The largest homogenizable prefix of ``specification``.
+
+    Used by the order scan (Section 5.1): when a full homogenization is
+    impossible, the scan optimistically pushes down the largest prefix in
+    the hope that an FD discovered during planning makes the suffix
+    redundant. The result may be empty.
+    """
+    targets = set(target_columns)
+    reduced = reduce_order(specification, context)
+    substituted: List[OrderKey] = []
+    seen: Set[ColumnRef] = set()
+    for key in reduced:
+        replacement = _substitute_key(key, targets, context)
+        if replacement is None:
+            break
+        if replacement.column in seen:
+            continue
+        seen.add(replacement.column)
+        substituted.append(replacement)
+    return OrderSpec(substituted)

@@ -1,0 +1,36 @@
+"""*Test Order* — Figure 3 of the paper.
+
+An order property ``OP`` satisfies an interesting order ``I`` iff, after
+both are reduced, ``I`` is empty or ``I`` is a prefix of ``OP``.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import OrderContext
+from repro.core.ordering import OrderSpec
+from repro.core.reduce import reduce_order
+
+
+def test_order(
+    interesting: OrderSpec,
+    order_property: OrderSpec,
+    context: OrderContext,
+) -> bool:
+    """Whether ``order_property`` satisfies ``interesting`` under ``context``."""
+    reduced_interesting = reduce_order(interesting, context)
+    if reduced_interesting.is_empty():
+        return True
+    reduced_property = reduce_order(order_property, context)
+    return reduced_interesting.is_prefix_of(reduced_property)
+
+
+def test_order_naive(interesting: OrderSpec, order_property: OrderSpec) -> bool:
+    """The naive satisfaction test used by the order-opt-disabled build.
+
+    No reduction: the interesting order must literally be a prefix of the
+    property. This is what the paper's "disabled" DB2 falls back to and is
+    the baseline in the Table 1 experiment.
+    """
+    if interesting.is_empty():
+        return True
+    return interesting.is_prefix_of(order_property)

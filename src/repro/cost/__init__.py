@@ -1,0 +1,22 @@
+"""Cost model and cardinality estimation.
+
+Stands in for DB2's cost estimates (Section 8: "an optimizer would simply
+pick a better alternative using its cost estimates"). Costs separate I/O
+from CPU so the ordered-nested-loop-join effect — sequential, prefetch-
+friendly probes instead of random ones — is visible to plan choice.
+"""
+
+from repro.cost.model import Cost, CostModel
+from repro.cost.estimate import (
+    SelectivityEstimator,
+    StatsView,
+    join_selectivity,
+)
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "SelectivityEstimator",
+    "StatsView",
+    "join_selectivity",
+]

@@ -1,0 +1,131 @@
+"""Cardinality estimation: System-R style selectivities from statistics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.catalog import ColumnStats, TableSchema
+from repro.expr.analysis import conjuncts_of
+from repro.expr.nodes import (
+    BooleanExpr,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+)
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_OTHER_SELECTIVITY = 0.5
+
+
+class StatsView:
+    """Maps qualified column references to their base-table statistics."""
+
+    def __init__(self, tables_by_alias: Dict[str, TableSchema]):
+        self._tables = dict(tables_by_alias)
+
+    def table(self, alias: str) -> Optional[TableSchema]:
+        return self._tables.get(alias)
+
+    def column_stats(self, column: ColumnRef) -> Optional[ColumnStats]:
+        table = self._tables.get(column.qualifier)
+        if table is None or not table.has_column(column.name):
+            return None
+        return table.stats.column(column.name)
+
+    def row_count(self, alias: str) -> int:
+        table = self._tables.get(alias)
+        return table.stats.row_count if table is not None else 0
+
+    def aliases(self) -> Iterable[str]:
+        return self._tables.keys()
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivities from a :class:`StatsView`."""
+
+    def __init__(self, stats: StatsView):
+        self.stats = stats
+
+    def selectivity(self, predicate: Optional[Expression]) -> float:
+        """Selectivity of an arbitrary predicate (conjuncts multiply)."""
+        if predicate is None:
+            return 1.0
+        result = 1.0
+        for conjunct in conjuncts_of(predicate):
+            result *= self._conjunct_selectivity(conjunct)
+        return max(1e-9, min(1.0, result))
+
+    def _conjunct_selectivity(self, predicate: Expression) -> float:
+        if isinstance(predicate, BooleanExpr) and predicate.op is BooleanOp.OR:
+            # Independence-union bound.
+            miss = 1.0
+            for operand in predicate.operands:
+                miss *= 1.0 - self.selectivity(operand)
+            return 1.0 - miss
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self.selectivity(predicate.operand))
+        if isinstance(predicate, IsNull):
+            return DEFAULT_EQ_SELECTIVITY
+        if isinstance(predicate, InList):
+            if isinstance(predicate.operand, ColumnRef):
+                single = self._equality_selectivity(predicate.operand)
+                return min(1.0, single * max(1, len(predicate.values)))
+            return DEFAULT_OTHER_SELECTIVITY
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate)
+        return DEFAULT_OTHER_SELECTIVITY
+
+    def _comparison_selectivity(self, predicate: Comparison) -> float:
+        left, right, op = predicate.left, predicate.right, predicate.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = op.flipped()
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            if op is ComparisonOp.EQ:
+                return self._equality_selectivity(left)
+            if op is ComparisonOp.NE:
+                return max(0.0, 1.0 - self._equality_selectivity(left))
+            return self._range_selectivity(left, op, right.value)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            if op is ComparisonOp.EQ:
+                return join_selectivity(
+                    self.stats.column_stats(left),
+                    self.stats.column_stats(right),
+                )
+            return DEFAULT_RANGE_SELECTIVITY
+        return DEFAULT_OTHER_SELECTIVITY
+
+    def _equality_selectivity(self, column: ColumnRef) -> float:
+        stats = self.stats.column_stats(column)
+        if stats is None or stats.ndv <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / stats.ndv
+
+    def _range_selectivity(
+        self, column: ColumnRef, op: ComparisonOp, value: Any
+    ) -> float:
+        stats = self.stats.column_stats(column)
+        if stats is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        if op in (ComparisonOp.LT, ComparisonOp.LE):
+            return stats.selectivity_range(None, value)
+        return stats.selectivity_range(value, None)
+
+
+def join_selectivity(
+    left: Optional[ColumnStats], right: Optional[ColumnStats]
+) -> float:
+    """Selectivity of an equi-join predicate: 1 / max(NDV_l, NDV_r)."""
+    candidates = [
+        stats.ndv for stats in (left, right) if stats is not None and stats.ndv > 0
+    ]
+    if not candidates:
+        return DEFAULT_EQ_SELECTIVITY
+    return 1.0 / max(candidates)

@@ -1,0 +1,47 @@
+"""Physical execution engine (iterator model).
+
+Operators pull tuples from their children; scans charge page accesses to
+the database's buffer pool, so a query's simulated I/O pattern falls out
+of actually running it. Sorting, merging, hashing, and aggregation are
+all real — benchmark elapsed times measure genuine work.
+"""
+
+from repro.executor.context import ExecutionContext
+from repro.executor.operators import (
+    FilterOp,
+    IndexScanOp,
+    PhysicalOperator,
+    ProjectOp,
+    SortOp,
+    TableScanOp,
+)
+from repro.executor.joins import (
+    HashJoinOp,
+    MergeJoinOp,
+    NestedLoopIndexJoinOp,
+    NestedLoopJoinOp,
+)
+from repro.executor.aggregate import (
+    HashDistinctOp,
+    HashGroupByOp,
+    SortedDistinctOp,
+    SortedGroupByOp,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "TableScanOp",
+    "IndexScanOp",
+    "FilterOp",
+    "ProjectOp",
+    "SortOp",
+    "NestedLoopJoinOp",
+    "NestedLoopIndexJoinOp",
+    "MergeJoinOp",
+    "HashJoinOp",
+    "SortedGroupByOp",
+    "HashGroupByOp",
+    "SortedDistinctOp",
+    "HashDistinctOp",
+]

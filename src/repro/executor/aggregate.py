@@ -1,0 +1,218 @@
+"""Aggregation and duplicate elimination operators."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.executor.context import ExecutionContext
+from repro.executor.operators import PhysicalOperator, Row
+from repro.expr.evaluate import evaluate
+from repro.expr.nodes import Aggregate, AggregateKind, ColumnRef
+from repro.expr.schema import RowSchema
+from repro.sqltypes import is_null, sort_key
+
+
+class _Accumulator:
+    """State for one aggregate within one group."""
+
+    __slots__ = ("kind", "distinct", "total", "count", "extreme", "seen")
+
+    def __init__(self, kind: AggregateKind, distinct: bool):
+        self.kind = kind
+        self.distinct = distinct
+        self.total: Any = None
+        self.count = 0
+        self.extreme: Any = None
+        self.seen: Optional[Set[Any]] = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if self.kind is AggregateKind.COUNT and value is _COUNT_STAR:
+            self.count += 1
+            return
+        if is_null(value):
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.kind in (AggregateKind.SUM, AggregateKind.AVG):
+            self.total = value if self.total is None else self.total + value
+        elif self.kind is AggregateKind.MIN:
+            if self.extreme is None or sort_key(value) < sort_key(self.extreme):
+                self.extreme = value
+        elif self.kind is AggregateKind.MAX:
+            if self.extreme is None or sort_key(value) > sort_key(self.extreme):
+                self.extreme = value
+
+    def result(self) -> Any:
+        if self.kind is AggregateKind.COUNT:
+            return self.count
+        if self.kind is AggregateKind.SUM:
+            return self.total
+        if self.kind is AggregateKind.AVG:
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        return self.extreme
+
+
+_COUNT_STAR = object()
+
+
+class _GroupByBase(PhysicalOperator):
+    """Shared plumbing for sort- and hash-based GROUP BY.
+
+    Output schema: group columns (in declared order) followed by one
+    column per aggregate, named ``ColumnRef("", alias)``.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_columns: Sequence[ColumnRef],
+        aggregates: Sequence[Tuple[str, Aggregate]],
+    ):
+        outputs = list(group_columns) + [
+            ColumnRef("", name) for name, _aggregate in aggregates
+        ]
+        super().__init__(RowSchema(outputs))
+        self.child = child
+        self.group_columns = list(group_columns)
+        self.aggregates = list(aggregates)
+        self._group_positions = [
+            child.schema.position(column) for column in group_columns
+        ]
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def _new_accumulators(self) -> List[_Accumulator]:
+        return [
+            _Accumulator(aggregate.kind, aggregate.distinct)
+            for _name, aggregate in self.aggregates
+        ]
+
+    def _feed(self, accumulators: List[_Accumulator], row: Row) -> None:
+        child_schema = self.child.schema
+        for accumulator, (_name, aggregate) in zip(
+            accumulators, self.aggregates
+        ):
+            if aggregate.argument is None:
+                accumulator.add(_COUNT_STAR)
+            else:
+                accumulator.add(
+                    evaluate(aggregate.argument, child_schema, row)
+                )
+
+    def _output_row(
+        self, group_values: Tuple[Any, ...], accumulators: List[_Accumulator]
+    ) -> Row:
+        return group_values + tuple(
+            accumulator.result() for accumulator in accumulators
+        )
+
+
+class SortedGroupByOp(_GroupByBase):
+    """Order-based GROUP BY: input must arrive grouped (sorted on any
+    permutation of the grouping columns — Section 7's degrees of
+    freedom)."""
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        current_group: Optional[Tuple[Any, ...]] = None
+        current_raw: Optional[Tuple[Any, ...]] = None
+        accumulators: List[_Accumulator] = []
+        positions = self._group_positions
+        for row in self.child.rows(context):
+            raw = tuple(row[position] for position in positions)
+            marker = tuple(sort_key(value) for value in raw)
+            if current_group is None or marker != current_group:
+                if current_group is not None:
+                    yield self._output_row(current_raw, accumulators)
+                current_group = marker
+                current_raw = raw
+                accumulators = self._new_accumulators()
+            self._feed(accumulators, row)
+        if current_group is not None:
+            yield self._output_row(current_raw, accumulators)
+
+    def label(self) -> str:
+        inner = ", ".join(str(column) for column in self.group_columns)
+        return f"group by (sorted) [{inner}]"
+
+
+class HashGroupByOp(_GroupByBase):
+    """Hash-based GROUP BY: no input order required, none produced."""
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], Tuple[Tuple[Any, ...], List[_Accumulator]]] = {}
+        positions = self._group_positions
+        count = 0
+        for row in self.child.rows(context):
+            raw = tuple(row[position] for position in positions)
+            marker = tuple(sort_key(value) for value in raw)
+            entry = groups.get(marker)
+            if entry is None:
+                entry = (raw, self._new_accumulators())
+                groups[marker] = entry
+            self._feed(entry[1], row)
+            count += 1
+        context.rows_hashed += count
+        if len(groups) > context.sort_memory_rows:
+            context.charge_spill(len(groups))
+        if not groups and not self.group_columns:
+            # Scalar aggregate over empty input still yields one row.
+            yield self._output_row((), self._new_accumulators())
+            return
+        for raw, accumulators in groups.values():
+            yield self._output_row(raw, accumulators)
+
+    def label(self) -> str:
+        inner = ", ".join(str(column) for column in self.group_columns)
+        return f"group by (hash) [{inner}]"
+
+
+class SortedDistinctOp(PhysicalOperator):
+    """Order-based DISTINCT over a grouped input."""
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__(child.schema)
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        previous: Optional[Tuple[Any, ...]] = None
+        for row in self.child.rows(context):
+            marker = tuple(sort_key(value) for value in row)
+            if previous is None or marker != previous:
+                previous = marker
+                yield row
+
+    def label(self) -> str:
+        return "distinct (sorted)"
+
+
+class HashDistinctOp(PhysicalOperator):
+    """Hash-based DISTINCT."""
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__(child.schema)
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        seen: Set[Tuple[Any, ...]] = set()
+        for row in self.child.rows(context):
+            marker = tuple(sort_key(value) for value in row)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            yield row
+        context.rows_hashed += len(seen)
+
+    def label(self) -> str:
+        return "distinct (hash)"

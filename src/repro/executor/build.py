@@ -1,0 +1,190 @@
+"""Translate optimizer plans into executable operator trees.
+
+Host variables (``:name`` parameters) are bound here: planning treated
+them as opaque constants (§4.1); execution substitutes the provided
+values into every expression before operators are instantiated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.executor.aggregate import (
+    HashDistinctOp,
+    HashGroupByOp,
+    SortedDistinctOp,
+    SortedGroupByOp,
+)
+from repro.executor.context import ExecutionContext
+from repro.executor.joins import (
+    HashJoinOp,
+    MergeJoinOp,
+    NestedLoopIndexJoinOp,
+    NestedLoopJoinOp,
+)
+from repro.executor.operators import (
+    FilterOp,
+    IndexScanOp,
+    PhysicalOperator,
+    ProjectOp,
+    SortOp,
+    TableScanOp,
+)
+from repro.expr.nodes import ColumnRef
+from repro.expr.schema import RowSchema
+from repro.optimizer.plan import OpKind, Plan, PlanNode
+from repro.storage import Database
+
+
+def build_operator(
+    node: PlanNode,
+    database: Database,
+    parameters: Optional[Dict[str, object]] = None,
+) -> PhysicalOperator:
+    """Recursively build the physical operator for one plan node."""
+    from repro.expr.nodes import Expression
+    from repro.expr.transform import bind_parameters
+
+    children = [
+        build_operator(child, database, parameters) for child in node.children
+    ]
+
+    def bind(expression):
+        if expression is None or parameters is None:
+            return expression
+        if isinstance(expression, Expression):
+            return bind_parameters(expression, parameters)
+        return expression
+
+    args = dict(node.args)
+    for key in ("predicate", "residual"):
+        if key in args:
+            args[key] = bind(args[key])
+    if "expressions" in args:
+        args["expressions"] = [bind(e) for e in args["expressions"]]
+    if "aggregates" in args and parameters is not None:
+        from repro.expr.nodes import Aggregate
+
+        rebound = []
+        for name, aggregate in args["aggregates"]:
+            if aggregate.argument is not None:
+                aggregate = Aggregate(
+                    aggregate.kind,
+                    bind(aggregate.argument),
+                    aggregate.distinct,
+                    aggregate.alias,
+                )
+            rebound.append((name, aggregate))
+        args["aggregates"] = rebound
+
+    kind = node.kind
+    if kind is OpKind.TABLE_SCAN:
+        return TableScanOp(args["table"], args["alias"], node.properties.schema)
+    if kind is OpKind.INDEX_SCAN:
+        return IndexScanOp(
+            table_name=args["table"],
+            index_name=args["index"],
+            alias=args["alias"],
+            schema=node.properties.schema,
+            low=args.get("low"),
+            high=args.get("high"),
+            low_inclusive=args.get("low_inclusive", True),
+            high_inclusive=args.get("high_inclusive", True),
+            descending=args.get("descending", False),
+        )
+    if kind is OpKind.FILTER:
+        return FilterOp(children[0], args["predicate"])
+    if kind is OpKind.PROJECT:
+        return ProjectOp(
+            children[0], args["expressions"], node.properties.schema
+        )
+    if kind is OpKind.SORT:
+        return SortOp(children[0], args["order"])
+    if kind is OpKind.NLJ:
+        return NestedLoopJoinOp(
+            children[0],
+            children[1],
+            args.get("predicate"),
+            left_outer=args.get("left_outer", False),
+        )
+    if kind is OpKind.NLJ_INDEX:
+        alias = args["alias"]
+        table = database.catalog.table(args["table"])
+        inner_schema = RowSchema(
+            ColumnRef(alias, column.name) for column in table.columns
+        )
+        return NestedLoopIndexJoinOp(
+            outer=children[0],
+            table_name=args["table"],
+            index_name=args["index"],
+            alias=alias,
+            inner_schema=inner_schema,
+            probe_columns=args["probe_columns"],
+            residual=args.get("residual"),
+            ordered=args.get("ordered", False),
+            left_outer=args.get("left_outer", False),
+        )
+    if kind is OpKind.MERGE_JOIN:
+        return MergeJoinOp(
+            children[0],
+            children[1],
+            args["outer_keys"],
+            args["inner_keys"],
+            args.get("residual"),
+        )
+    if kind is OpKind.HASH_JOIN:
+        return HashJoinOp(
+            children[0],
+            children[1],
+            args["outer_keys"],
+            args["inner_keys"],
+            args.get("residual"),
+            left_outer=args.get("left_outer", False),
+        )
+    if kind is OpKind.CONCAT:
+        from repro.executor.operators import ConcatOp
+
+        return ConcatOp(children, node.properties.schema)
+    if kind is OpKind.LIMIT:
+        from repro.executor.operators import LimitOp
+
+        return LimitOp(children[0], args["count"])
+    if kind is OpKind.TOPN:
+        from repro.executor.operators import TopNSortOp
+
+        return TopNSortOp(children[0], args["order"], args["count"])
+    if kind is OpKind.GROUP_SORTED:
+        return SortedGroupByOp(
+            children[0], args["group_columns"], args["aggregates"]
+        )
+    if kind is OpKind.GROUP_HASH:
+        return HashGroupByOp(
+            children[0], args["group_columns"], args["aggregates"]
+        )
+    if kind is OpKind.DISTINCT_SORTED:
+        return SortedDistinctOp(children[0])
+    if kind is OpKind.DISTINCT_HASH:
+        return HashDistinctOp(children[0])
+    raise ExecutionError(f"cannot build operator for {kind}")
+
+
+def build_executor(
+    plan: Plan,
+    database: Database,
+    parameters: Optional[Dict[str, object]] = None,
+) -> PhysicalOperator:
+    """Operator tree for a whole plan, with host variables bound."""
+    return build_operator(plan.root, database, parameters)
+
+
+def execute_plan(
+    plan: Plan,
+    database: Database,
+    context: ExecutionContext = None,
+    parameters: Optional[Dict[str, object]] = None,
+) -> List[tuple]:
+    """Run a plan to completion and return its rows."""
+    if context is None:
+        context = ExecutionContext(database)
+    return build_executor(plan, database, parameters).execute(context)

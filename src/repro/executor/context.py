@@ -1,0 +1,41 @@
+"""Execution context: shared state for one query execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage import Database
+
+
+@dataclass
+class ExecutionContext:
+    """Carried through an operator tree during execution.
+
+    Attributes:
+        database: storage handle (buffer pool, heaps, index trees).
+        sort_memory_rows: in-memory sort threshold; larger inputs charge
+            simulated spill I/O.
+        spill_pages: simulated pages written+read by spilling operators.
+        rows_sorted / rows_hashed: work counters for introspection.
+    """
+
+    database: Database
+    sort_memory_rows: int = 100_000
+    spill_pages: int = 0
+    rows_sorted: int = 0
+    rows_hashed: int = 0
+
+    def charge_spill(self, rows: int, rows_per_page: int = 64) -> None:
+        """Record spill I/O for an operator overflowing memory."""
+        pages = max(1, rows // max(1, rows_per_page))
+        # One write pass + one read pass.
+        self.spill_pages += 2 * pages
+
+    def simulated_io_ms(self) -> float:
+        """Total modelled I/O time: buffer pool misses + spills."""
+        from repro.storage.buffer import IoStats
+
+        return (
+            self.database.buffer_pool.stats.simulated_io_ms()
+            + self.spill_pages * IoStats.SEQUENTIAL_MS
+        )

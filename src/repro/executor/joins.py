@@ -1,0 +1,311 @@
+"""Join operators: nested-loop (naive and index), merge, and hash joins.
+
+The star of the paper's Section 8 is the *ordered* nested-loop index
+join: when the outer stream arrives sorted on the join column, the index
+probes walk the inner B+-tree monotonically, so page accesses register
+as buffer hits / sequential misses rather than random misses — the
+executor does not special-case this, it simply falls out of the access
+pattern meeting the buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.executor.context import ExecutionContext
+from repro.executor.operators import PhysicalOperator, Row
+from repro.expr.evaluate import evaluate_predicate
+from repro.expr.nodes import ColumnRef, Expression
+from repro.expr.schema import RowSchema
+from repro.sqltypes import is_null, sort_key
+from repro.storage.database import encode_index_key
+
+
+class _BinaryJoin(PhysicalOperator):
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        residual: Optional[Expression],
+    ):
+        super().__init__(outer.schema.concat(inner.schema))
+        self.outer = outer
+        self.inner = inner
+        self.residual = residual
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer, self.inner)
+
+    def _emit(
+        self, context: ExecutionContext, outer_row: Row, inner_row: Row
+    ) -> Optional[Row]:
+        joined = outer_row + inner_row
+        if self.residual is not None and not evaluate_predicate(
+            self.residual, self.schema, joined
+        ):
+            return None
+        return joined
+
+
+class NestedLoopJoinOp(_BinaryJoin):
+    """Tuple nested loops with a materialized inner.
+
+    With ``left_outer`` the predicate acts as the ON condition: outer
+    rows without a qualifying inner row are emitted once, padded with
+    NULLs on the inner side.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        residual: Optional[Expression],
+        left_outer: bool = False,
+    ):
+        super().__init__(outer, inner, residual)
+        self.left_outer = left_outer
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        inner_rows = list(self.inner.rows(context))
+        padding = (None,) * len(self.inner.schema)
+        for outer_row in self.outer.rows(context):
+            matched = False
+            for inner_row in inner_rows:
+                joined = self._emit(context, outer_row, inner_row)
+                if joined is not None:
+                    matched = True
+                    yield joined
+            if self.left_outer and not matched:
+                yield outer_row + padding
+
+    def label(self) -> str:
+        condition = f" [{self.residual}]" if self.residual is not None else ""
+        kind = "nested-loop left outer join" if self.left_outer else "nested-loop join"
+        return f"{kind}{condition}"
+
+
+class NestedLoopIndexJoinOp(PhysicalOperator):
+    """Nested loops probing an inner index per outer row.
+
+    ``probe_columns`` are outer columns whose values key the inner index
+    (a prefix of its key). ``ordered`` is informational — set by the
+    planner when the outer stream is sorted on the probe columns (the
+    paper's ordered nested-loop join); the physical benefit emerges from
+    the buffer pool either way.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        table_name: str,
+        index_name: str,
+        alias: str,
+        inner_schema: RowSchema,
+        probe_columns: Sequence[ColumnRef],
+        residual: Optional[Expression] = None,
+        ordered: bool = False,
+        left_outer: bool = False,
+    ):
+        super().__init__(outer.schema.concat(inner_schema))
+        self.outer = outer
+        self.table_name = table_name
+        self.index_name = index_name
+        self.alias = alias
+        self.inner_schema = inner_schema
+        self.probe_columns = list(probe_columns)
+        self.residual = residual
+        self.ordered = ordered
+        self.left_outer = left_outer
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        store = context.database.store(self.table_name)
+        index, tree = store.indexes[self.index_name]
+        directions = [
+            column.direction
+            for column in index.key[: len(self.probe_columns)]
+        ]
+        positions = [
+            self.outer.schema.position(column)
+            for column in self.probe_columns
+        ]
+        schema = self.schema
+        residual = self.residual
+        padding = (None,) * len(self.inner_schema)
+        for outer_row in self.outer.rows(context):
+            values = [outer_row[position] for position in positions]
+            matched = False
+            if not any(is_null(value) for value in values):
+                probe_key = encode_index_key(values, directions)
+                for _key, rid in tree.scan_range(
+                    low=probe_key, high=probe_key
+                ):
+                    inner_row = store.heap.fetch(rid)
+                    joined = outer_row + inner_row
+                    if residual is not None and not evaluate_predicate(
+                        residual, schema, joined
+                    ):
+                        continue
+                    matched = True
+                    yield joined
+            if self.left_outer and not matched:
+                yield outer_row + padding
+
+    def label(self) -> str:
+        kind = "ordered nested-loop join" if self.ordered else "nested-loop join"
+        if self.left_outer:
+            kind += " (left outer)"
+        probes = ", ".join(str(column) for column in self.probe_columns)
+        return (
+            f"{kind} (index {self.index_name} on {self.table_name} "
+            f"as {self.alias}, probe [{probes}])"
+        )
+
+
+class MergeJoinOp(_BinaryJoin):
+    """Sort-merge equi-join; inputs must arrive ordered on the join keys.
+
+    Handles duplicate keys on both sides by buffering the inner group.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        outer_keys: Sequence[ColumnRef],
+        inner_keys: Sequence[ColumnRef],
+        residual: Optional[Expression] = None,
+    ):
+        super().__init__(outer, inner, residual)
+        if len(outer_keys) != len(inner_keys) or not outer_keys:
+            raise ExecutionError("merge join needs matching key lists")
+        self.outer_keys = list(outer_keys)
+        self.inner_keys = list(inner_keys)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        outer_positions = [
+            self.outer.schema.position(column) for column in self.outer_keys
+        ]
+        inner_positions = [
+            self.inner.schema.position(column) for column in self.inner_keys
+        ]
+
+        def outer_key(row: Row) -> Optional[Tuple[Any, ...]]:
+            values = [row[position] for position in outer_positions]
+            if any(is_null(value) for value in values):
+                return None
+            return tuple(sort_key(value) for value in values)
+
+        def inner_key(row: Row) -> Optional[Tuple[Any, ...]]:
+            values = [row[position] for position in inner_positions]
+            if any(is_null(value) for value in values):
+                return None
+            return tuple(sort_key(value) for value in values)
+
+        outer_iter = self.outer.rows(context)
+        inner_iter = self.inner.rows(context)
+        outer_row = next(outer_iter, None)
+        inner_row = next(inner_iter, None)
+        group_key: Optional[Tuple[Any, ...]] = None
+        group_rows: List[Row] = []
+        while outer_row is not None:
+            key = outer_key(outer_row)
+            if key is None:
+                outer_row = next(outer_iter, None)
+                continue
+            if group_key is not None and key == group_key:
+                for buffered in group_rows:
+                    joined = self._emit(context, outer_row, buffered)
+                    if joined is not None:
+                        yield joined
+                outer_row = next(outer_iter, None)
+                continue
+            # Advance the inner side to this key.
+            while inner_row is not None:
+                ikey = inner_key(inner_row)
+                if ikey is None or ikey < key:
+                    inner_row = next(inner_iter, None)
+                    continue
+                break
+            group_key, group_rows = key, []
+            while inner_row is not None:
+                ikey = inner_key(inner_row)
+                if ikey == key:
+                    group_rows.append(inner_row)
+                    inner_row = next(inner_iter, None)
+                    continue
+                break
+            for buffered in group_rows:
+                joined = self._emit(context, outer_row, buffered)
+                if joined is not None:
+                    yield joined
+            outer_row = next(outer_iter, None)
+
+    def label(self) -> str:
+        pairs = ", ".join(
+            f"{outer} = {inner}"
+            for outer, inner in zip(self.outer_keys, self.inner_keys)
+        )
+        return f"merge-join [{pairs}]"
+
+
+class HashJoinOp(_BinaryJoin):
+    """Classic hash equi-join: build on the inner, probe with the outer."""
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        outer_keys: Sequence[ColumnRef],
+        inner_keys: Sequence[ColumnRef],
+        residual: Optional[Expression] = None,
+        left_outer: bool = False,
+    ):
+        super().__init__(outer, inner, residual)
+        if len(outer_keys) != len(inner_keys) or not outer_keys:
+            raise ExecutionError("hash join needs matching key lists")
+        self.outer_keys = list(outer_keys)
+        self.inner_keys = list(inner_keys)
+        self.left_outer = left_outer
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        inner_positions = [
+            self.inner.schema.position(column) for column in self.inner_keys
+        ]
+        outer_positions = [
+            self.outer.schema.position(column) for column in self.outer_keys
+        ]
+        table: dict = {}
+        build_count = 0
+        for inner_row in self.inner.rows(context):
+            values = tuple(inner_row[position] for position in inner_positions)
+            if any(is_null(value) for value in values):
+                continue
+            table.setdefault(values, []).append(inner_row)
+            build_count += 1
+        context.rows_hashed += build_count
+        if build_count > context.sort_memory_rows:
+            context.charge_spill(build_count)
+        padding = (None,) * len(self.inner.schema)
+        for outer_row in self.outer.rows(context):
+            values = tuple(outer_row[position] for position in outer_positions)
+            matched = False
+            if not any(is_null(value) for value in values):
+                for inner_row in table.get(values, ()):
+                    joined = self._emit(context, outer_row, inner_row)
+                    if joined is not None:
+                        matched = True
+                        yield joined
+            if self.left_outer and not matched:
+                yield outer_row + padding
+
+    def label(self) -> str:
+        pairs = ", ".join(
+            f"{outer} = {inner}"
+            for outer, inner in zip(self.outer_keys, self.inner_keys)
+        )
+        kind = "hash left outer join" if self.left_outer else "hash join"
+        return f"{kind} [{pairs}]"

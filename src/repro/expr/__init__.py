@@ -1,0 +1,66 @@
+"""Expression trees, evaluation, and predicate analysis.
+
+Expressions are immutable trees of :class:`~repro.expr.nodes.Expression`
+nodes. Predicates are boolean-valued expressions; the optimizer analyses
+them (see :mod:`repro.expr.analysis`) to extract the ``col = constant``
+and ``col = col`` facts that drive the paper's order algebra.
+"""
+
+from repro.expr.nodes import (
+    Aggregate,
+    AggregateKind,
+    Arithmetic,
+    ArithmeticOp,
+    BooleanExpr,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    col,
+    lit,
+)
+from repro.expr.schema import RowSchema
+from repro.expr.evaluate import evaluate, evaluate_predicate
+from repro.expr.analysis import (
+    PredicateFacts,
+    analyze_predicates,
+    columns_of,
+    conjuncts_of,
+    is_column_constant_equality,
+    is_column_equality,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateKind",
+    "Arithmetic",
+    "ArithmeticOp",
+    "BooleanExpr",
+    "BooleanOp",
+    "CaseWhen",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "Expression",
+    "InList",
+    "IsNull",
+    "Literal",
+    "Not",
+    "col",
+    "lit",
+    "RowSchema",
+    "evaluate",
+    "evaluate_predicate",
+    "PredicateFacts",
+    "analyze_predicates",
+    "columns_of",
+    "conjuncts_of",
+    "is_column_constant_equality",
+    "is_column_equality",
+]

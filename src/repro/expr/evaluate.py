@@ -1,0 +1,171 @@
+"""Expression evaluation against records under three-valued logic."""
+
+from __future__ import annotations
+
+import decimal
+from typing import Any, Optional, Sequence
+
+from repro.errors import ExpressionError
+from repro.expr.nodes import (
+    Aggregate,
+    Arithmetic,
+    ArithmeticOp,
+    BooleanExpr,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+)
+from repro.expr.schema import RowSchema
+from repro.sqltypes import is_null, sql_compare
+
+
+def evaluate(
+    expression: Expression, schema: RowSchema, record: Sequence[Any]
+) -> Any:
+    """Evaluate ``expression`` on one record.
+
+    Returns a value, or ``None`` for SQL NULL / unknown. Boolean results
+    are True/False/None.
+    """
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return record[schema.position(expression)]
+    if isinstance(expression, Comparison):
+        return _evaluate_comparison(expression, schema, record)
+    if isinstance(expression, BooleanExpr):
+        return _evaluate_boolean(expression, schema, record)
+    if isinstance(expression, Not):
+        inner = evaluate(expression.operand, schema, record)
+        if inner is None:
+            return None
+        return not inner
+    if isinstance(expression, IsNull):
+        inner = evaluate(expression.operand, schema, record)
+        result = is_null(inner)
+        return not result if expression.negated else result
+    if isinstance(expression, InList):
+        return _evaluate_in_list(expression, schema, record)
+    if isinstance(expression, Arithmetic):
+        return _evaluate_arithmetic(expression, schema, record)
+    if isinstance(expression, CaseWhen):
+        condition = evaluate(expression.condition, schema, record)
+        branch = expression.then_value if condition else expression.else_value
+        return evaluate(branch, schema, record)
+    if isinstance(expression, Aggregate):
+        raise ExpressionError(
+            f"aggregate {expression} cannot be evaluated per-record; "
+            "it must be planned into a group-by operator"
+        )
+    from repro.expr.nodes import Parameter
+
+    if isinstance(expression, Parameter):
+        raise ExpressionError(
+            f"unbound host variable :{expression.name}; pass "
+            "parameters={...} when executing"
+        )
+    raise ExpressionError(f"cannot evaluate {expression!r}")
+
+
+def evaluate_predicate(
+    predicate: Expression, schema: RowSchema, record: Sequence[Any]
+) -> bool:
+    """Evaluate a predicate for filtering: unknown (NULL) counts as False."""
+    return evaluate(predicate, schema, record) is True
+
+
+def _evaluate_comparison(
+    expression: Comparison, schema: RowSchema, record: Sequence[Any]
+) -> Optional[bool]:
+    left = evaluate(expression.left, schema, record)
+    right = evaluate(expression.right, schema, record)
+    cmp = sql_compare(left, right)
+    if cmp is None:
+        return None
+    op = expression.op
+    if op is ComparisonOp.EQ:
+        return cmp == 0
+    if op is ComparisonOp.NE:
+        return cmp != 0
+    if op is ComparisonOp.LT:
+        return cmp < 0
+    if op is ComparisonOp.LE:
+        return cmp <= 0
+    if op is ComparisonOp.GT:
+        return cmp > 0
+    return cmp >= 0
+
+
+def _evaluate_boolean(
+    expression: BooleanExpr, schema: RowSchema, record: Sequence[Any]
+) -> Optional[bool]:
+    # Kleene three-valued AND/OR with short-circuiting on the dominant value.
+    if expression.op is BooleanOp.AND:
+        saw_unknown = False
+        for operand in expression.operands:
+            value = evaluate(operand, schema, record)
+            if value is False:
+                return False
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else True
+    saw_unknown = False
+    for operand in expression.operands:
+        value = evaluate(operand, schema, record)
+        if value is True:
+            return True
+        if value is None:
+            saw_unknown = True
+    return None if saw_unknown else False
+
+
+def _evaluate_in_list(
+    expression: InList, schema: RowSchema, record: Sequence[Any]
+) -> Optional[bool]:
+    needle = evaluate(expression.operand, schema, record)
+    if is_null(needle):
+        return None
+    saw_unknown = False
+    for candidate in expression.values:
+        value = evaluate(candidate, schema, record)
+        cmp = sql_compare(needle, value)
+        if cmp is None:
+            saw_unknown = True
+        elif cmp == 0:
+            return True
+    return None if saw_unknown else False
+
+
+def _evaluate_arithmetic(
+    expression: Arithmetic, schema: RowSchema, record: Sequence[Any]
+) -> Any:
+    left = evaluate(expression.left, schema, record)
+    right = evaluate(expression.right, schema, record)
+    if is_null(left) or is_null(right):
+        return None
+    if isinstance(left, decimal.Decimal) and isinstance(right, float):
+        right = decimal.Decimal(str(right))
+    if isinstance(right, decimal.Decimal) and isinstance(left, float):
+        left = decimal.Decimal(str(left))
+    op = expression.op
+    try:
+        if op is ArithmeticOp.ADD:
+            return left + right
+        if op is ArithmeticOp.SUB:
+            return left - right
+        if op is ArithmeticOp.MUL:
+            return left * right
+        return left / right
+    except (TypeError, decimal.InvalidOperation) as exc:
+        raise ExpressionError(
+            f"cannot compute {left!r} {op.value} {right!r}"
+        ) from exc
+    except ZeroDivisionError:
+        raise ExpressionError(f"division by zero in {expression}") from None

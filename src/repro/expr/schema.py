@@ -1,0 +1,74 @@
+"""Row schemas: the mapping from column references to record positions.
+
+Every stream flowing between physical operators carries a
+:class:`RowSchema`. Records themselves are plain tuples; the schema says
+which slot holds which column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ExpressionError
+from repro.expr.nodes import ColumnRef
+
+
+class RowSchema:
+    """An ordered list of column references with O(1) position lookup."""
+
+    __slots__ = ("_columns", "_positions")
+
+    def __init__(self, columns: Iterable[ColumnRef]):
+        self._columns: Tuple[ColumnRef, ...] = tuple(columns)
+        self._positions: Dict[ColumnRef, int] = {}
+        for position, column in enumerate(self._columns):
+            if column in self._positions:
+                raise ExpressionError(f"duplicate column {column} in schema")
+            self._positions[column] = position
+
+    @property
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return self._columns
+
+    def position(self, column: ColumnRef) -> int:
+        """Slot index of ``column``; raises ExpressionError if absent."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise ExpressionError(
+                f"column {column} not in schema {list(map(str, self._columns))}"
+            ) from None
+
+    def __contains__(self, column: ColumnRef) -> bool:
+        return column in self._positions
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnRef]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowSchema) and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def concat(self, other: "RowSchema") -> "RowSchema":
+        """Schema of a join output: this schema's columns then ``other``'s."""
+        return RowSchema(self._columns + other._columns)
+
+    def project(self, columns: Sequence[ColumnRef]) -> "RowSchema":
+        """Schema restricted (and reordered) to ``columns``."""
+        for column in columns:
+            self.position(column)
+        return RowSchema(columns)
+
+    def projector(self, columns: Sequence[ColumnRef]):
+        """A fast callable mapping a record to the projected tuple."""
+        positions: List[int] = [self.position(column) for column in columns]
+        return lambda record: tuple(record[position] for position in positions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(column) for column in self._columns)
+        return f"RowSchema({inner})"

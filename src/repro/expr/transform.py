@@ -1,0 +1,113 @@
+"""Expression tree transformations (column substitution, rebuilding)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.errors import ExpressionError
+from repro.expr.nodes import (
+    Aggregate,
+    Arithmetic,
+    BooleanExpr,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Parameter,
+)
+
+
+def transform(
+    expression: Expression,
+    visit: Callable[[Expression], Optional[Expression]],
+) -> Expression:
+    """Bottom-up rewrite: ``visit`` may replace any node (None = keep)."""
+    rebuilt = _rebuild(expression, visit)
+    replacement = visit(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def _rebuild(
+    expression: Expression,
+    visit: Callable[[Expression], Optional[Expression]],
+) -> Expression:
+    if isinstance(expression, (ColumnRef, Literal, Parameter)):
+        return expression
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            transform(expression.left, visit),
+            transform(expression.right, visit),
+        )
+    if isinstance(expression, BooleanExpr):
+        return BooleanExpr(
+            expression.op,
+            tuple(transform(operand, visit) for operand in expression.operands),
+        )
+    if isinstance(expression, Not):
+        return Not(transform(expression.operand, visit))
+    if isinstance(expression, IsNull):
+        return IsNull(transform(expression.operand, visit), expression.negated)
+    if isinstance(expression, InList):
+        return InList(
+            transform(expression.operand, visit),
+            tuple(transform(value, visit) for value in expression.values),
+        )
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            transform(expression.left, visit),
+            transform(expression.right, visit),
+        )
+    if isinstance(expression, CaseWhen):
+        return CaseWhen(
+            transform(expression.condition, visit),
+            transform(expression.then_value, visit),
+            transform(expression.else_value, visit),
+        )
+    if isinstance(expression, Aggregate):
+        if expression.argument is None:
+            return expression
+        return Aggregate(
+            expression.kind,
+            transform(expression.argument, visit),
+            expression.distinct,
+            expression.alias,
+        )
+    raise ExpressionError(f"cannot transform {expression!r}")
+
+
+def substitute_columns(
+    expression: Expression, mapping: Dict[ColumnRef, Expression]
+) -> Expression:
+    """Replace column references per ``mapping`` throughout a tree."""
+
+    def visit(node: Expression) -> Optional[Expression]:
+        if isinstance(node, ColumnRef):
+            return mapping.get(node)
+        return None
+
+    return transform(expression, visit)
+
+
+def bind_parameters(expression: Expression, values: Dict[str, object]) -> Expression:
+    """Replace host variables with literal values for execution.
+
+    Raises ExpressionError when a referenced parameter has no value.
+    """
+
+    def visit(node: Expression) -> Optional[Expression]:
+        if isinstance(node, Parameter):
+            if node.name not in values:
+                raise ExpressionError(
+                    f"no value bound for host variable :{node.name}"
+                )
+            return Literal(values[node.name])
+        return None
+
+    return transform(expression, visit)

@@ -1,0 +1,17 @@
+"""Cost-based optimizer with order optimization (paper Section 5).
+
+The entry point is :class:`~repro.optimizer.optimizer.Optimizer`, which
+parses/accepts a query, runs the QGM rewrites and the order scan, does
+bottom-up join enumeration with interesting orders and sort-ahead, and
+returns an executable :class:`~repro.optimizer.plan.Plan`.
+
+``OptimizerConfig(order_optimization=False)`` reproduces the paper's
+"disabled" DB2 build: naive order tests (no reduction), no order
+combination, no sort-ahead, no degrees-of-freedom GROUP BY orders.
+"""
+
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.plan import Plan, PlanNode
+from repro.optimizer.optimizer import Optimizer
+
+__all__ = ["Optimizer", "OptimizerConfig", "Plan", "PlanNode"]

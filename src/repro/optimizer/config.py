@@ -1,0 +1,59 @@
+"""Optimizer configuration and instrumentation counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OptimizerConfig:
+    """Feature switches for order optimization and planning.
+
+    ``order_optimization`` is the master switch matching the paper's
+    Section 8 experiment: with it off, order tests are naive column-list
+    comparisons, interesting orders are neither reduced nor combined nor
+    pushed down, and GROUP BY demands exactly its written column order.
+
+    The finer-grained switches support the ablation benchmarks; they are
+    only consulted when ``order_optimization`` is on.
+    """
+
+    order_optimization: bool = True
+    enable_reduction: bool = True
+    enable_sort_ahead: bool = True
+    enable_cover: bool = True
+    enable_general_orders: bool = True
+
+    enable_merge_join: bool = True
+    enable_hash_join: bool = True
+    enable_index_nlj: bool = True
+    enable_hash_group_by: bool = True
+
+    max_sort_ahead_orders: int = 4
+
+    def effective(self, feature: str) -> bool:
+        """A fine-grained switch, gated by the master switch."""
+        if not self.order_optimization:
+            return False
+        return getattr(self, feature)
+
+    @classmethod
+    def disabled(cls) -> "OptimizerConfig":
+        """The paper's order-optimization-disabled build."""
+        return cls(order_optimization=False)
+
+
+@dataclass
+class PlannerStats:
+    """Counters for the enumeration-complexity experiment (Section 5.2)."""
+
+    plans_generated: int = 0
+    plans_pruned: int = 0
+    subsets_expanded: int = 0
+    sort_ahead_plans: int = 0
+
+    def reset(self) -> None:
+        self.plans_generated = 0
+        self.plans_pruned = 0
+        self.subsets_expanded = 0
+        self.sort_ahead_plans = 0

@@ -1,0 +1,839 @@
+"""Bottom-up join enumeration with interesting orders and sort-ahead.
+
+System-R style dynamic programming over quantifier subsets, left-deep
+trees, with the paper's twist (Section 5.2): at every level, for each
+interesting order hung off the block, the optimizer also tries *sorting
+the outer* on that order (homogenized to the columns available so far) —
+so a sort for an ORDER BY / GROUP BY can land arbitrarily deep. Two
+subplans over the same tables but with different (useful) orders are not
+pruned against each other, which is the O(n^2) complexity factor the
+paper concedes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.homogenize import homogenize_order
+from repro.core.ordering import OrderSpec
+from repro.core.reduce import reduce_order
+from repro.errors import OptimizerError
+from repro.expr.analysis import columns_of, is_column_equality
+from repro.expr.nodes import BooleanExpr, BooleanOp, ColumnRef, Expression
+from repro.optimizer.helpers import order_satisfies, sort_columns_for
+from repro.optimizer.plan import OpKind, PlanNode
+from repro.optimizer.planner import PlannerContext, access_paths
+from repro.properties.propagate import propagate_join, propagate_sort
+
+AliasSet = FrozenSet[str]
+
+# Cap on plans kept per DP subset after dominance pruning.
+_MAX_PLANS_PER_SUBSET = 12
+
+
+def _and_all(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BooleanExpr(BooleanOp.AND, tuple(conjuncts))
+
+
+def enumerate_joins(planner: PlannerContext) -> List[PlanNode]:
+    """Plan the join of every quantifier in the block; returns the
+    surviving plans for the full alias set.
+
+    Blocks containing LEFT OUTER JOINs are planned in FROM order (outer
+    joins are not freely reorderable); pure inner-join blocks get full
+    subset dynamic programming.
+    """
+    if planner.block.outer_joins:
+        return _enumerate_sequential(planner)
+    aliases = sorted(planner.block.tables)
+    best: Dict[AliasSet, List[PlanNode]] = {}
+    for alias in aliases:
+        plans = access_paths(planner, alias)
+        plans.extend(_sort_ahead_variants(planner, plans))
+        best[frozenset((alias,))] = _prune(planner, plans)
+
+    universe = frozenset(aliases)
+    for size in range(2, len(aliases) + 1):
+        for subset_tuple in combinations(aliases, size):
+            subset = frozenset(subset_tuple)
+            planner.stats.subsets_expanded += 1
+            candidates: List[PlanNode] = []
+            for inner_alias in subset:
+                outer_set = subset - {inner_alias}
+                outer_plans = best.get(outer_set, ())
+                if not outer_plans:
+                    continue
+                if not _connected(planner, outer_set, inner_alias):
+                    # Avoid Cartesian products unless the subset has no
+                    # connected decomposition at all.
+                    if _subset_has_connection(planner, subset):
+                        continue
+                inner_plans = best[frozenset((inner_alias,))]
+                for outer_plan in outer_plans:
+                    candidates.extend(
+                        _join_methods(
+                            planner, outer_plan, inner_alias, inner_plans
+                        )
+                    )
+            if not candidates:
+                raise OptimizerError(
+                    f"no join candidates for subset {sorted(subset)}"
+                )
+            candidates.extend(_sort_ahead_variants(planner, candidates))
+            best[subset] = _prune(planner, candidates)
+    return best[universe]
+
+
+def _enumerate_sequential(planner: PlannerContext) -> List[PlanNode]:
+    """Left-deep planning in FROM order (used when outer joins exist)."""
+    aliases = list(planner.block.tables)
+    outer_joins = planner.block.outer_joins
+    plans = access_paths(planner, aliases[0])
+    plans.extend(_sort_ahead_variants(planner, plans))
+    plans = _prune(planner, plans)
+    for alias in aliases[1:]:
+        candidates: List[PlanNode] = []
+        if alias in outer_joins:
+            for plan in plans:
+                candidates.extend(
+                    _left_outer_join_methods(
+                        planner, plan, alias, outer_joins[alias]
+                    )
+                )
+        else:
+            inner_plans = _prune(planner, access_paths(planner, alias))
+            for plan in plans:
+                candidates.extend(
+                    _join_methods(planner, plan, alias, inner_plans)
+                )
+        if not candidates:
+            raise OptimizerError(f"no join candidates adding {alias}")
+        candidates.extend(_sort_ahead_variants(planner, candidates))
+        plans = _prune(planner, candidates)
+        planner.stats.subsets_expanded += 1
+    return plans
+
+
+def _left_outer_join_methods(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_alias: str,
+    on_predicate: Expression,
+) -> List[PlanNode]:
+    """LEFT OUTER JOIN methods: nested-loop, hash, and index probes.
+
+    ON conjuncts touching only the inner table filter the inner input
+    before matching (ON semantics); cross-side conjuncts decide matches
+    and padding.
+    """
+    from repro.expr.analysis import conjuncts_of
+    from repro.optimizer.planner import _apply_filters, _table_scan_plan
+    from repro.properties.propagate import (
+        base_table_properties,
+        propagate_left_outer_join,
+    )
+
+    derived = planner.is_derived(inner_alias)
+    table = None if derived else planner.table_for(inner_alias)
+    on_conjuncts = conjuncts_of(on_predicate)
+    inner_only: List[Expression] = []
+    cross: List[Expression] = []
+    for conjunct in on_conjuncts:
+        touched = {c.qualifier for c in columns_of(conjunct)} - {""}
+        if touched <= {inner_alias}:
+            inner_only.append(conjunct)
+        else:
+            cross.append(conjunct)
+
+    if derived:
+        base_inner_rows = planner.derived_plans[inner_alias][
+            0
+        ].properties.cardinality
+        inner_columns_all = frozenset(
+            planner.derived_plans[inner_alias][0].properties.schema.columns
+        )
+    else:
+        base_inner_rows = float(table.stats.row_count)
+        inner_columns_all = frozenset(
+            ColumnRef(inner_alias, column.name) for column in table.columns
+        )
+    inner_rows = base_inner_rows
+    for conjunct in inner_only:
+        inner_rows *= planner.estimator.selectivity(conjunct)
+    inner_rows = max(1.0, inner_rows)
+    outer_rows = outer_plan.properties.cardinality
+    match_selectivity = 1.0
+    for conjunct in cross:
+        match_selectivity *= planner.estimator.selectivity(conjunct)
+    output_rows = max(outer_rows, outer_rows * inner_rows * match_selectivity)
+
+    outer_columns = frozenset(outer_plan.properties.schema.columns)
+    pairs = _dedupe_pairs(
+        _equi_pairs(cross, outer_columns, inner_columns_all)
+    )
+    residual = [
+        conjunct
+        for conjunct in cross
+        if conjunct not in {p for _o, _i, p in pairs}
+    ]
+    results: List[PlanNode] = []
+
+    # --- nested loops over a filtered inner ---
+    if derived:
+        inner_scan = _apply_filters(
+            planner,
+            planner.derived_plans[inner_alias][0],
+            inner_only,
+            inner_rows,
+        )
+    else:
+        inner_scan = _table_scan_plan(
+            planner, inner_alias, table, inner_only, inner_rows
+        )
+    properties = propagate_left_outer_join(
+        outer_plan.properties, inner_scan.properties, cross, output_rows
+    )
+    per_iteration = planner.cost_model.filter_rows(inner_rows)
+    cost = (
+        outer_plan.cost
+        + inner_scan.cost
+        + planner.cost_model.nested_loop_join(
+            outer_rows, per_iteration, output_rows
+        )
+    )
+    results.append(
+        PlanNode(
+            OpKind.NLJ,
+            (outer_plan, inner_scan),
+            properties,
+            cost,
+            {"predicate": _and_all(cross), "left_outer": True},
+        )
+    )
+
+    # --- hash left outer join ---
+    if pairs and planner.config.enable_hash_join:
+        properties = propagate_left_outer_join(
+            outer_plan.properties, inner_scan.properties, cross, output_rows
+        )
+        cost = (
+            outer_plan.cost
+            + inner_scan.cost
+            + planner.cost_model.hash_join(
+                inner_rows,
+                outer_rows,
+                output_rows,
+                planner.pages_for(inner_rows),
+            )
+        )
+        results.append(
+            PlanNode(
+                OpKind.HASH_JOIN,
+                (outer_plan, inner_scan),
+                properties,
+                cost,
+                {
+                    "outer_keys": [o for o, _i, _p in pairs],
+                    "inner_keys": [i for _o, i, _p in pairs],
+                    "residual": _and_all(residual),
+                    "left_outer": True,
+                },
+            )
+        )
+
+    # --- index-probe left outer join ---
+    if pairs and planner.config.enable_index_nlj and not derived:
+        store = planner.database.store(table.name)
+        for index in planner.database.catalog.indexes_on(table.name):
+            if index.name not in store.indexes:
+                continue
+            probe_pairs = []
+            for key_column in index.key:
+                target = ColumnRef(inner_alias, key_column.name)
+                match = next(
+                    (pair for pair in pairs if pair[1] == target), None
+                )
+                if match is None:
+                    break
+                probe_pairs.append(match)
+            if not probe_pairs:
+                continue
+            probe_outer = [o for o, _i, _p in probe_pairs]
+            covered = {p for _o, _i, p in probe_pairs}
+            probe_residual = [
+                conjunct for conjunct in cross if conjunct not in covered
+            ] + inner_only
+            context = outer_plan.properties.context()
+            ordered = planner.config.order_optimization and order_satisfies(
+                planner.config,
+                OrderSpec.of(*probe_outer),
+                outer_plan.order,
+                context,
+            )
+            inner_properties = base_table_properties(inner_alias, table)
+            properties = propagate_left_outer_join(
+                outer_plan.properties, inner_properties, cross, output_rows
+            )
+            matches = max(
+                0.1,
+                table.stats.row_count
+                * planner.estimator.selectivity(probe_pairs[0][2]),
+            )
+            cost = outer_plan.cost + planner.cost_model.index_nlj(
+                outer_rows=outer_rows,
+                matches_per_probe=matches,
+                table_pages=table.stats.pages,
+                table_rows=table.stats.row_count,
+                tree_height=store.indexes[index.name][1].height,
+                ordered=ordered,
+                clustered=index.clustered,
+                output_rows=output_rows,
+            )
+            results.append(
+                PlanNode(
+                    OpKind.NLJ_INDEX,
+                    (outer_plan,),
+                    properties,
+                    cost,
+                    {
+                        "table": table.name,
+                        "index": index.name,
+                        "alias": inner_alias,
+                        "probe_columns": probe_outer,
+                        "residual": _and_all(probe_residual),
+                        "ordered": ordered,
+                        "left_outer": True,
+                    },
+                )
+            )
+    planner.stats.plans_generated += len(results)
+    return results
+
+
+def _connected(
+    planner: PlannerContext, outer_set: AliasSet, inner_alias: str
+) -> bool:
+    for predicate in planner.join_predicates:
+        touched = {c.qualifier for c in columns_of(predicate)} - {""}
+        if inner_alias in touched and touched - {inner_alias} <= outer_set and (
+            touched - {inner_alias}
+        ):
+            return True
+    return False
+
+
+def _subset_has_connection(planner: PlannerContext, subset: AliasSet) -> bool:
+    for inner_alias in subset:
+        if _connected(planner, subset - {inner_alias}, inner_alias):
+            return True
+    return False
+
+
+def _applicable_join_predicates(
+    planner: PlannerContext, outer_set: AliasSet, inner_alias: str
+) -> List[Expression]:
+    """Join conjuncts evaluable once ``inner_alias`` joins ``outer_set``
+    that were not evaluable before."""
+    subset = outer_set | {inner_alias}
+    found = []
+    for predicate in planner.join_predicates:
+        touched = {c.qualifier for c in columns_of(predicate)} - {""}
+        if not touched <= subset:
+            continue
+        if touched <= outer_set:
+            continue  # already applied below
+        found.append(predicate)
+    return found
+
+
+def _equi_pairs(
+    predicates: Sequence[Expression],
+    outer_columns: FrozenSet[ColumnRef],
+    inner_columns: FrozenSet[ColumnRef],
+) -> List[Tuple[ColumnRef, ColumnRef, Expression]]:
+    """(outer column, inner column, predicate) for each equi-conjunct."""
+    pairs = []
+    for predicate in predicates:
+        match = is_column_equality(predicate)
+        if match is None:
+            continue
+        left, right = match
+        if left in outer_columns and right in inner_columns:
+            pairs.append((left, right, predicate))
+        elif right in outer_columns and left in inner_columns:
+            pairs.append((right, left, predicate))
+    return pairs
+
+
+def _dedupe_pairs(
+    pairs: List[Tuple[ColumnRef, ColumnRef, Expression]],
+) -> List[Tuple[ColumnRef, ColumnRef, Expression]]:
+    """One equi-pair per distinct outer and inner column.
+
+    Two predicates equating different outer columns to the same inner
+    column (a.x = b.x AND c.x = b.x) keep only the first as a join key;
+    the other is evaluated as a residual predicate.
+    """
+    seen_outer: set = set()
+    seen_inner: set = set()
+    unique = []
+    for outer, inner, predicate in pairs:
+        if outer in seen_outer or inner in seen_inner:
+            continue
+        seen_outer.add(outer)
+        seen_inner.add(inner)
+        unique.append((outer, inner, predicate))
+    return unique
+
+
+def _join_methods(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_alias: str,
+    inner_plans: Sequence[PlanNode],
+) -> List[PlanNode]:
+    """Every join method combining ``outer_plan`` with ``inner_alias``."""
+    config = planner.config
+    outer_set = outer_plan.aliases()
+    subset = outer_set | {inner_alias}
+    predicates = _applicable_join_predicates(planner, outer_set, inner_alias)
+    output_rows = planner.subset_cardinality(subset)
+    outer_columns = frozenset(outer_plan.properties.schema.columns)
+    results: List[PlanNode] = []
+
+    inner_columns_by_plan = {
+        id(plan): frozenset(plan.properties.schema.columns)
+        for plan in inner_plans
+    }
+
+    for inner_plan in inner_plans:
+        inner_columns = inner_columns_by_plan[id(inner_plan)]
+        pairs = _dedupe_pairs(
+            _equi_pairs(predicates, outer_columns, inner_columns)
+        )
+        residual = [
+            predicate
+            for predicate in predicates
+            if predicate not in {p for _o, _i, p in pairs}
+        ]
+        # --- naive nested loops (always legal; also covers Cartesian) ---
+        results.append(
+            _nested_loop(
+                planner, outer_plan, inner_plan, predicates, output_rows
+            )
+        )
+        if pairs:
+            if config.enable_hash_join:
+                results.append(
+                    _hash_join(
+                        planner,
+                        outer_plan,
+                        inner_plan,
+                        pairs,
+                        residual,
+                        output_rows,
+                    )
+                )
+            if config.enable_merge_join:
+                results.extend(
+                    _merge_joins(
+                        planner,
+                        outer_plan,
+                        inner_plan,
+                        pairs,
+                        residual,
+                        output_rows,
+                    )
+                )
+    if config.enable_index_nlj:
+        results.extend(
+            _index_nlj_joins(
+                planner, outer_plan, inner_alias, predicates, output_rows
+            )
+        )
+    planner.stats.plans_generated += len(results)
+    return results
+
+
+def _nested_loop(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_plan: PlanNode,
+    predicates: Sequence[Expression],
+    output_rows: float,
+) -> PlanNode:
+    properties = propagate_join(
+        outer_plan.properties,
+        inner_plan.properties,
+        predicates,
+        output_rows,
+        preserves_outer_order=True,
+    )
+    inner_rows = inner_plan.properties.cardinality
+    # Inner is materialized once; per outer row we pay CPU over it.
+    per_iteration = planner.cost_model.filter_rows(inner_rows)
+    cost = (
+        outer_plan.cost
+        + inner_plan.cost
+        + planner.cost_model.nested_loop_join(
+            outer_plan.properties.cardinality, per_iteration, output_rows
+        )
+    )
+    return PlanNode(
+        OpKind.NLJ,
+        (outer_plan, inner_plan),
+        properties,
+        cost,
+        {"predicate": _and_all(list(predicates))},
+    )
+
+
+def _hash_join(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_plan: PlanNode,
+    pairs: Sequence[Tuple[ColumnRef, ColumnRef, Expression]],
+    residual: Sequence[Expression],
+    output_rows: float,
+) -> PlanNode:
+    predicates = [predicate for _o, _i, predicate in pairs] + list(residual)
+    properties = propagate_join(
+        outer_plan.properties,
+        inner_plan.properties,
+        predicates,
+        output_rows,
+        preserves_outer_order=True,  # probe side streams in order
+    )
+    build_rows = inner_plan.properties.cardinality
+    cost = (
+        outer_plan.cost
+        + inner_plan.cost
+        + planner.cost_model.hash_join(
+            build_rows,
+            outer_plan.properties.cardinality,
+            output_rows,
+            planner.pages_for(build_rows),
+        )
+    )
+    return PlanNode(
+        OpKind.HASH_JOIN,
+        (outer_plan, inner_plan),
+        properties,
+        cost,
+        {
+            "outer_keys": [o for o, _i, _p in pairs],
+            "inner_keys": [i for _o, i, _p in pairs],
+            "residual": _and_all(list(residual)),
+        },
+    )
+
+
+def _merge_joins(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_plan: PlanNode,
+    pairs: Sequence[Tuple[ColumnRef, ColumnRef, Expression]],
+    residual: Sequence[Expression],
+    output_rows: float,
+) -> List[PlanNode]:
+    """Merge join, inserting sorts on either side when needed.
+
+    §5.2: when an interesting order is pushed to the outer of a merge
+    join, "a cover with the merge-join order is also required" — so when
+    the outer needs a sort anyway, we also try sorting it on the *cover*
+    of the join order and each pending interesting order: the same sort
+    then feeds both the merge join and the downstream consumer.
+    """
+    config = planner.config
+    outer_keys = [o for o, _i, _p in pairs]
+    inner_keys = [i for _o, i, _p in pairs]
+    outer_required = OrderSpec.of(*outer_keys)
+    inner_required = OrderSpec.of(*inner_keys)
+    predicates = [predicate for _o, _i, predicate in pairs] + list(residual)
+
+    sorted_inner = _ensure_order(planner, inner_plan, inner_required, "merge-join")
+    if sorted_inner is None:
+        return []
+    outer_variants: List[PlanNode] = []
+    primary = _ensure_order(planner, outer_plan, outer_required, "merge-join")
+    if primary is not None:
+        outer_variants.append(primary)
+    if (
+        config.effective("enable_cover")
+        and primary is not None
+        and primary is not outer_plan  # a sort was needed anyway
+    ):
+        outer_variants.extend(
+            _covered_merge_sorts(planner, outer_plan, outer_required)
+        )
+    if not outer_variants:
+        return []
+
+    results: List[PlanNode] = []
+    for sorted_outer in outer_variants:
+        properties = propagate_join(
+            sorted_outer.properties,
+            sorted_inner.properties,
+            predicates,
+            output_rows,
+            preserves_outer_order=True,
+        )
+        cost = (
+            sorted_outer.cost
+            + sorted_inner.cost
+            + planner.cost_model.merge_join(
+                sorted_outer.properties.cardinality,
+                sorted_inner.properties.cardinality,
+                output_rows,
+            )
+        )
+        results.append(
+            PlanNode(
+                OpKind.MERGE_JOIN,
+                (sorted_outer, sorted_inner),
+                properties,
+                cost,
+                {
+                    "outer_keys": outer_keys,
+                    "inner_keys": inner_keys,
+                    "residual": _and_all(list(residual)),
+                },
+            )
+        )
+    return results
+
+
+def _covered_merge_sorts(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    outer_required: OrderSpec,
+) -> List[PlanNode]:
+    """Sorts on covers of the merge-join order with interesting orders."""
+    from repro.core.cover import cover_order
+
+    context = outer_plan.properties.context()
+    available = list(outer_plan.properties.schema.columns)
+    variants: List[PlanNode] = []
+    seen = {outer_required}
+    for interesting in planner.interesting_orders[:2]:
+        homogenized = homogenize_order(
+            interesting, available, planner.optimistic
+        )
+        if homogenized is None or homogenized.is_empty():
+            continue
+        cover = cover_order(outer_required, homogenized, context)
+        if cover is None or cover in seen:
+            continue
+        if not cover.subset_columns(available):
+            continue
+        seen.add(cover)
+        variants.append(
+            make_sort(planner, outer_plan, cover, "merge-join cover")
+        )
+    return variants
+
+
+def _ensure_order(
+    planner: PlannerContext,
+    plan: PlanNode,
+    required: OrderSpec,
+    reason: str,
+) -> Optional[PlanNode]:
+    """``plan`` if its order satisfies ``required``, else a sort on top."""
+    if required.is_empty():
+        return plan
+    context = plan.properties.context()
+    if order_satisfies(planner.config, required, plan.order, context):
+        return plan
+    target = sort_columns_for(planner.config, required, context)
+    if target.is_empty():
+        return plan
+    if not target.subset_columns(plan.properties.schema.columns):
+        return None
+    return make_sort(planner, plan, target, reason)
+
+
+def make_sort(
+    planner: PlannerContext,
+    plan: PlanNode,
+    order: OrderSpec,
+    reason: str,
+) -> PlanNode:
+    properties = propagate_sort(plan.properties, order)
+    rows = plan.properties.cardinality
+    cost = plan.cost + planner.cost_model.sort(
+        rows, len(order), planner.pages_for(rows)
+    )
+    return PlanNode(
+        OpKind.SORT,
+        (plan,),
+        properties,
+        cost,
+        {"order": order, "reason": reason},
+    )
+
+
+def _index_nlj_joins(
+    planner: PlannerContext,
+    outer_plan: PlanNode,
+    inner_alias: str,
+    predicates: Sequence[Expression],
+    output_rows: float,
+) -> List[PlanNode]:
+    """Nested-loop joins probing an index of the inner table."""
+    if planner.is_derived(inner_alias):
+        return []  # derived tables have no indexes to probe
+    table = planner.table_for(inner_alias)
+    outer_columns = frozenset(outer_plan.properties.schema.columns)
+    inner_base = frozenset(
+        ColumnRef(inner_alias, column.name) for column in table.columns
+    )
+    pairs = _equi_pairs(predicates, outer_columns, inner_base)
+    if not pairs:
+        return []
+    store = planner.database.store(table.name)
+    results: List[PlanNode] = []
+    for index in planner.database.catalog.indexes_on(table.name):
+        if index.name not in store.indexes:
+            continue
+        probe_pairs = []
+        for key_column in index.key:
+            target = ColumnRef(inner_alias, key_column.name)
+            match = next(
+                (pair for pair in pairs if pair[1] == target), None
+            )
+            if match is None:
+                break
+            probe_pairs.append(match)
+        if not probe_pairs:
+            continue
+        probe_outer = [o for o, _i, _p in probe_pairs]
+        covered = {p for _o, _i, p in probe_pairs}
+        residual = [
+            predicate for predicate in predicates if predicate not in covered
+        ]
+        local = planner.local_predicates.get(inner_alias, [])
+        residual_all = residual + list(local)
+
+        # Detecting that the probe stream arrives in index order IS order
+        # optimization (Section 8.1: the disabled optimizer "was unable
+        # to determine that the same sort could be used to generate an
+        # ordered nested-loop join"), so the disabled build never plans
+        # ordered probes and prices every probe as random I/O.
+        context = outer_plan.properties.context()
+        ordered = planner.config.order_optimization and order_satisfies(
+            planner.config,
+            OrderSpec.of(*probe_outer),
+            outer_plan.order,
+            context,
+        )
+        from repro.properties.propagate import base_table_properties
+
+        inner_properties = base_table_properties(inner_alias, table)
+        join_predicates = [p for _o, _i, p in probe_pairs] + residual_all
+        properties = propagate_join(
+            outer_plan.properties,
+            inner_properties,
+            join_predicates,
+            output_rows,
+            preserves_outer_order=True,
+        )
+        outer_rows = outer_plan.properties.cardinality
+        matches = max(
+            0.1,
+            table.stats.row_count
+            * planner.estimator.selectivity(probe_pairs[0][2]),
+        )
+        tree_height = store.indexes[index.name][1].height
+        cost = outer_plan.cost + planner.cost_model.index_nlj(
+            outer_rows=outer_rows,
+            matches_per_probe=matches,
+            table_pages=table.stats.pages,
+            table_rows=table.stats.row_count,
+            tree_height=tree_height,
+            ordered=ordered,
+            clustered=index.clustered,
+            output_rows=output_rows,
+        )
+        results.append(
+            PlanNode(
+                OpKind.NLJ_INDEX,
+                (outer_plan,),
+                properties,
+                cost,
+                {
+                    "table": table.name,
+                    "index": index.name,
+                    "alias": inner_alias,
+                    "probe_columns": probe_outer,
+                    "residual": _and_all(residual_all),
+                    "ordered": ordered,
+                },
+            )
+        )
+    return results
+
+
+def _sort_ahead_variants(
+    planner: PlannerContext, plans: Sequence[PlanNode]
+) -> List[PlanNode]:
+    """Sorted variants of the cheapest plans for each interesting order.
+
+    This is sort-ahead (Section 5.1/5.2): each interesting order hung off
+    the block is homogenized to the columns available at this level; a
+    sort enforcing it is tried on the cheapest subplan.
+    """
+    config = planner.config
+    if not config.effective("enable_sort_ahead"):
+        return []
+    if not plans:
+        return []
+    cheapest = min(plans, key=lambda plan: plan.cost.total_ms)
+    variants: List[PlanNode] = []
+    available = list(cheapest.properties.schema.columns)
+    context = cheapest.properties.context()
+    for interesting in planner.interesting_orders[
+        : config.max_sort_ahead_orders
+    ]:
+        homogenized = homogenize_order(
+            interesting, available, planner.optimistic
+        )
+        if homogenized is None or homogenized.is_empty():
+            continue
+        target = reduce_order(homogenized, context)
+        if target.is_empty():
+            continue
+        if order_satisfies(config, target, cheapest.order, context):
+            continue
+        variants.append(make_sort(planner, cheapest, target, "sort-ahead"))
+    planner.stats.sort_ahead_plans += len(variants)
+    return variants
+
+
+def _prune(planner: PlannerContext, plans: List[PlanNode]) -> List[PlanNode]:
+    """Dominance pruning: drop a plan if a cheaper (or equal) plan's order
+    property satisfies its order property. Keep at most a bounded number
+    of survivors, cheapest first."""
+    config = planner.config
+    survivors: List[PlanNode] = []
+    for plan in sorted(plans, key=lambda p: p.cost.total_ms):
+        context = plan.properties.context()
+        dominated = False
+        for kept in survivors:
+            if kept.cost.total_ms <= plan.cost.total_ms and order_satisfies(
+                config, plan.order, kept.order, context
+            ):
+                dominated = True
+                break
+        if dominated:
+            planner.stats.plans_pruned += 1
+            continue
+        survivors.append(plan)
+        if len(survivors) >= _MAX_PLANS_PER_SUBSET:
+            break
+    return survivors

@@ -1,0 +1,382 @@
+"""The optimizer facade: SQL/QGM in, executable plan out."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.optimizer.config import OptimizerConfig, PlannerStats
+from repro.optimizer.enumerate import enumerate_joins
+from repro.optimizer.finalize import finalize_plans
+from repro.optimizer.order_scan import run_order_scan
+from repro.optimizer.plan import Plan, PlanNode
+from repro.optimizer.planner import PlannerContext
+from repro.parser import parse_query
+from repro.qgm import normalize, rewrite
+from repro.qgm.block import QueryBlock
+from repro.qgm.boxes import Box
+from repro.storage import Database
+
+
+class Optimizer:
+    """Cost-based query optimizer with order optimization.
+
+    Typical use::
+
+        optimizer = Optimizer(database)
+        plan = optimizer.plan_sql("select ... from ... order by ...")
+        rows = execute_plan(plan, database)
+
+    Pass ``OptimizerConfig.disabled()`` to reproduce the paper's
+    order-optimization-disabled baseline.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[OptimizerConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.database = database
+        self.config = config or OptimizerConfig()
+        self.cost_model = cost_model or CostModel()
+        self.last_stats: PlannerStats = PlannerStats()
+        self.last_interesting_orders: List = []
+
+    def plan_sql(self, sql: str) -> Plan:
+        """Parse, rewrite, and plan a SQL query."""
+        box = parse_query(sql, self.database.catalog)
+        return self.plan_box(box)
+
+    def plan_box(self, box: Box) -> Plan:
+        """Rewrite and plan a QGM box tree."""
+        from repro.qgm.boxes import UnionBox
+
+        box = rewrite(box)
+        if isinstance(box, UnionBox):
+            return self._plan_union(box)
+        return self.plan_block(normalize(box))
+
+    def plan_block(self, block: QueryBlock) -> Plan:
+        """Plan a normalized query block."""
+        best, names = self._best_block_node(block)
+        return Plan(root=best, output_names=names)
+
+    def _best_block_node(self, block: QueryBlock, extra_interesting=()):
+        candidates = self._block_candidates(block, extra_interesting)
+        best = min(candidates, key=lambda plan: plan.cost.total_ms)
+        names = tuple(item.name for item in block.select_items)
+        return best, names
+
+    def _block_candidates(self, block: QueryBlock, extra_interesting=()):
+        """All surviving full plans for a block (cheapest first not
+        guaranteed). ``extra_interesting`` injects orders wanted by an
+        enclosing block — the §5.1 push of interesting orders into a
+        view."""
+        derived_plans = {}
+        for alias, box in block.derived.items():
+            derived_plans[alias] = self._plan_derived(alias, box, block)
+        planner = PlannerContext.build(
+            self.database,
+            self.config,
+            block,
+            self.cost_model,
+            derived_plans=derived_plans,
+        )
+        planner.interesting_orders = run_order_scan(planner)
+        for specification in extra_interesting:
+            if (
+                specification not in planner.interesting_orders
+                and not specification.is_empty()
+            ):
+                planner.interesting_orders.append(specification)
+        self.last_interesting_orders = list(planner.interesting_orders)
+        join_plans = enumerate_joins(planner)
+        candidates = finalize_plans(planner, join_plans)
+        if not candidates:
+            raise OptimizerError("no complete plan produced")
+        self.last_stats = planner.stats
+        return candidates
+
+    def _plan_derived(self, alias: str, box: Box, outer_block=None):
+        """Plan an unmergeable view and expose it under ``alias``.
+
+        The sub-plan's output columns are renamed to ``alias.name``
+        references; its order, key, and FD properties are translated so
+        the outer block's order optimization can still exploit them.
+
+        Returns a *list* of candidates: the cheapest plan, plus (when
+        the enclosing block wants an order this view's columns could
+        provide) the cheapest plan that delivers it — the paper's push
+        of a sort "into a view": the outer DP decides whether the
+        pre-ordered view pays for itself.
+        """
+        from repro.expr.nodes import ColumnRef
+        from repro.optimizer.helpers import order_satisfies
+        from repro.optimizer.plan import OpKind, PlanNode
+        from repro.properties.propagate import rename_properties
+        from repro.qgm.boxes import UnionBox
+
+        def rename(sub_plan, source_columns, names):
+            mapping = {
+                source: ColumnRef(alias, name)
+                for source, name in zip(source_columns, names)
+            }
+            properties = rename_properties(sub_plan.properties, mapping)
+            return PlanNode(
+                OpKind.PROJECT,
+                (sub_plan,),
+                properties,
+                sub_plan.cost
+                + self.cost_model.project_rows(
+                    sub_plan.properties.cardinality
+                ),
+                {"expressions": source_columns, "derived": alias},
+            )
+
+        if isinstance(box, UnionBox):
+            sub_plan = self._plan_union(box).root
+            source_columns = list(sub_plan.properties.schema.columns)
+            names = [item.name for item in box.output_items()]
+            return [rename(sub_plan, source_columns, names)]
+
+        block = normalize(box)
+        wanted = self._wanted_view_orders(alias, block, outer_block)
+        candidates = self._block_candidates(block, extra_interesting=wanted)
+        best = min(candidates, key=lambda plan: plan.cost.total_ms)
+        chosen = [best]
+        for specification in wanted:
+            satisfying = [
+                candidate
+                for candidate in candidates
+                if order_satisfies(
+                    self.config,
+                    specification,
+                    candidate.properties.order,
+                    candidate.properties.context(),
+                )
+            ]
+            if satisfying:
+                ordered_best = min(
+                    satisfying, key=lambda plan: plan.cost.total_ms
+                )
+                if ordered_best is not best:
+                    chosen.append(ordered_best)
+                break
+
+        name_by_output = {}
+        for item in block.select_items:
+            name_by_output.setdefault(item.output, item.name)
+        renamed = []
+        for sub_plan in chosen:
+            source_columns = list(sub_plan.properties.schema.columns)
+            names = [
+                name_by_output.get(column, column.name)
+                for column in source_columns
+            ]
+            renamed.append(rename(sub_plan, source_columns, names))
+        return renamed
+
+    def _wanted_view_orders(self, alias: str, view_block, outer_block):
+        """Orders the enclosing block would like this view to provide,
+        translated onto the view's own output expressions."""
+        from repro.core.ordering import OrderKey, OrderSpec
+        from repro.expr.nodes import ColumnRef
+
+        if outer_block is None:
+            return []
+        expression_by_name = {}
+        for item in view_block.select_items:
+            expression_by_name.setdefault(item.name, item.expression)
+        wanted = []
+        sources = [outer_block.order_by]
+        if outer_block.group_columns:
+            sources.append(OrderSpec.of(*outer_block.group_columns))
+        for specification in sources:
+            keys = []
+            for key in specification:
+                if key.column.qualifier != alias:
+                    break
+                target = expression_by_name.get(key.column.name)
+                if not isinstance(target, ColumnRef):
+                    break
+                keys.append(OrderKey(target, key.direction))
+            if keys:
+                candidate = OrderSpec(keys)
+                if candidate not in wanted:
+                    wanted.append(candidate)
+        return wanted
+
+    def _plan_union(self, union) -> Plan:
+        """Plan UNION [ALL]: branch plans + concat + optional dedupe.
+
+        The dedupe sort of a plain UNION is an interesting order: with
+        cover enabled it is aligned with the union's ORDER BY so one
+        sort serves both (the Rdb trick the paper cites in §2).
+        """
+        from repro.core.context import OrderContext
+        from repro.core.general import GeneralOrderSpec
+        from repro.core.ordering import OrderSpec
+        from repro.core.reduce import reduce_order
+        from repro.cost.model import Cost
+        from repro.expr.schema import RowSchema
+        from repro.optimizer.helpers import (
+            general_satisfies,
+            order_satisfies,
+            sort_columns_for,
+        )
+        from repro.optimizer.plan import OpKind, PlanNode
+        from repro.properties.stream import KeyProperty, StreamProperties
+
+        union_items = list(union.output_items())
+        names = tuple(item.name for item in union_items)
+        common_columns = [item.output for item in union_items]
+        common_schema = RowSchema(common_columns)
+
+        branch_nodes = []
+        total_rows = 0.0
+        for branch in union.branches:
+            node, _branch_names = self._best_block_node(normalize(branch))
+            branch_columns = list(node.properties.schema.columns)
+            rename_props = StreamProperties(
+                schema=common_schema,
+                cardinality=node.properties.cardinality,
+            )
+            node = PlanNode(
+                OpKind.PROJECT,
+                (node,),
+                rename_props,
+                node.cost
+                + self.cost_model.project_rows(node.properties.cardinality),
+                {"expressions": branch_columns, "final_projection": True},
+            )
+            total_rows += node.properties.cardinality
+            branch_nodes.append(node)
+
+        concat_props = StreamProperties(
+            schema=common_schema, cardinality=total_rows
+        )
+        concat_cost = sum(
+            (node.cost for node in branch_nodes), Cost()
+        ) + self.cost_model.project_rows(total_rows)
+        plan = PlanNode(
+            OpKind.CONCAT,
+            tuple(branch_nodes),
+            concat_props,
+            concat_cost,
+            {},
+        )
+
+        context = OrderContext.empty()
+        if not union.all_rows:
+            output_rows = max(1.0, total_rows * 0.5)
+            general = GeneralOrderSpec.from_distinct(common_columns)
+            target = None
+            if self.config.effective("enable_cover") and not union.output_order.is_empty():
+                target = general.aligned_with(union.output_order, context)
+            if target is None:
+                target = general.concrete(context, hint=union.output_order or None)
+            if not self.config.effective("enable_general_orders"):
+                target = OrderSpec.of(*common_columns)
+            candidates = []
+            if not target.is_empty():
+                sort_cost = self.cost_model.sort(
+                    total_rows, len(target), max(1.0, total_rows / 64.0)
+                )
+                sorted_node = PlanNode(
+                    OpKind.SORT,
+                    (plan,),
+                    concat_props.with_order(target),
+                    plan.cost + sort_cost,
+                    {"order": target, "reason": "union distinct"},
+                )
+                dedup_props = StreamProperties(
+                    schema=common_schema,
+                    order=target,
+                    key_property=KeyProperty([common_columns]),
+                    cardinality=output_rows,
+                )
+                candidates.append(
+                    PlanNode(
+                        OpKind.DISTINCT_SORTED,
+                        (sorted_node,),
+                        dedup_props,
+                        sorted_node.cost
+                        + self.cost_model.group_by_sorted(
+                            total_rows, output_rows
+                        ),
+                        {},
+                    )
+                )
+            if self.config.enable_hash_group_by or not candidates:
+                hash_props = StreamProperties(
+                    schema=common_schema,
+                    key_property=KeyProperty([common_columns]),
+                    cardinality=output_rows,
+                )
+                candidates.append(
+                    PlanNode(
+                        OpKind.DISTINCT_HASH,
+                        (plan,),
+                        hash_props,
+                        plan.cost
+                        + self.cost_model.group_by_hash(
+                            total_rows,
+                            output_rows,
+                            max(1.0, output_rows / 64.0),
+                        ),
+                        {},
+                    )
+                )
+
+            def with_order_by(candidate):
+                if union.output_order.is_empty():
+                    return candidate
+                ctx = candidate.properties.context()
+                if order_satisfies(
+                    self.config, union.output_order, candidate.order, ctx
+                ):
+                    return candidate
+                sort_target = sort_columns_for(
+                    self.config, union.output_order, ctx
+                )
+                if sort_target.is_empty():
+                    return candidate
+                rows = candidate.properties.cardinality
+                return PlanNode(
+                    OpKind.SORT,
+                    (candidate,),
+                    candidate.properties.with_order(sort_target),
+                    candidate.cost
+                    + self.cost_model.sort(
+                        rows, len(sort_target), max(1.0, rows / 64.0)
+                    ),
+                    {"order": sort_target, "reason": "order by"},
+                )
+
+            candidates = [with_order_by(c) for c in candidates]
+            plan = min(candidates, key=lambda node: node.cost.total_ms)
+        elif not union.output_order.is_empty():
+            rows = plan.properties.cardinality
+            plan = PlanNode(
+                OpKind.SORT,
+                (plan,),
+                plan.properties.with_order(union.output_order),
+                plan.cost
+                + self.cost_model.sort(
+                    rows, len(union.output_order), max(1.0, rows / 64.0)
+                ),
+                {"order": union.output_order, "reason": "order by"},
+            )
+
+        if union.fetch_first is not None:
+            rows = min(float(union.fetch_first), plan.properties.cardinality)
+            plan = PlanNode(
+                OpKind.LIMIT,
+                (plan,),
+                plan.properties.with_cardinality(rows),
+                plan.cost + self.cost_model.project_rows(rows),
+                {"count": union.fetch_first},
+            )
+        return Plan(root=plan, output_names=names)

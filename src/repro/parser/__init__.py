@@ -1,0 +1,22 @@
+"""A small SQL parser for the dialect the paper's queries use.
+
+Supported grammar (case-insensitive keywords):
+
+    SELECT [DISTINCT] item [, item]...
+    FROM table [alias] [, table [alias]]... | (subquery) alias
+    [WHERE predicate]
+    [GROUP BY column [, column]...]
+    [HAVING predicate]
+    [ORDER BY item [ASC|DESC] [, ...]]
+
+with literals (numbers, strings, ``date('YYYY-MM-DD')``, NULL),
+arithmetic, comparisons, BETWEEN/IN/IS NULL, AND/OR/NOT, and the
+aggregates SUM/COUNT/MIN/MAX/AVG (optionally DISTINCT).
+
+:func:`parse_query` returns a QGM box tree resolved against a catalog.
+"""
+
+from repro.parser.lexer import Token, TokenKind, tokenize
+from repro.parser.parser import parse_query
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse_query"]

@@ -1,0 +1,194 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "asc",
+    "desc",
+    "and",
+    "or",
+    "not",
+    "as",
+    "in",
+    "between",
+    "is",
+    "null",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "join",
+    "inner",
+    "left",
+    "outer",
+    "on",
+    "union",
+    "all",
+    "fetch",
+    "first",
+    "rows",
+    "row",
+    "only",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAM = "param"  # host variable, :name
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}:{self.text}"
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises ParseError with position on bad input."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", index):
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            kind = (
+                TokenKind.KEYWORD if lowered in KEYWORDS else TokenKind.IDENT
+            )
+            spelled = lowered if kind is TokenKind.KEYWORD else word
+            tokens.append(Token(kind, spelled, start_line, start_column))
+            advance(end - index)
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            saw_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not saw_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit is a qualifier dot.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    saw_dot = True
+                end += 1
+            tokens.append(
+                Token(TokenKind.NUMBER, text[index:end], start_line, start_column)
+            )
+            advance(end - index)
+            continue
+        if char == ":":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == index + 1:
+                raise ParseError("':' must introduce a host variable", line, column)
+            tokens.append(
+                Token(
+                    TokenKind.PARAM,
+                    text[index + 1 : end],
+                    start_line,
+                    start_column,
+                )
+            )
+            advance(end - index)
+            continue
+        if char == "'":
+            end = index + 1
+            pieces: List[str] = []
+            while True:
+                if end >= length:
+                    raise ParseError(
+                        "unterminated string literal", start_line, start_column
+                    )
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        pieces.append("'")
+                        end += 2
+                        continue
+                    break
+                pieces.append(text[end])
+                end += 1
+            tokens.append(
+                Token(
+                    TokenKind.STRING, "".join(pieces), start_line, start_column
+                )
+            )
+            advance(end + 1 - index)
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                tokens.append(
+                    Token(TokenKind.OPERATOR, operator, start_line, start_column)
+                )
+                advance(len(operator))
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, char, start_line, start_column))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

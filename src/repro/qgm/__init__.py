@@ -1,0 +1,40 @@
+"""Query Graph Model (QGM) — the optimizer's input representation.
+
+Section 3 of the paper: boxes represent relational operations, arcs
+(quantifiers) represent table references. A SELECT box with multiple
+quantifiers is a join; ORDER BY is an output order requirement on a box;
+GROUP BY contributes an input order requirement on its quantifier.
+
+After construction, rewrite heuristics (predicate pushdown, view
+merging) produce a semantically equivalent but more efficient QGM, which
+:func:`~repro.qgm.block.normalize` flattens into the
+:class:`~repro.qgm.block.QueryBlock` pipeline that cost-based planning
+consumes.
+"""
+
+from repro.qgm.boxes import (
+    BaseTableQuantifier,
+    Box,
+    BoxQuantifier,
+    GroupByBox,
+    Quantifier,
+    SelectBox,
+    SelectItem,
+)
+from repro.qgm.block import QueryBlock, normalize
+from repro.qgm.rewrite import merge_views, push_down_predicates, rewrite
+
+__all__ = [
+    "BaseTableQuantifier",
+    "Box",
+    "BoxQuantifier",
+    "GroupByBox",
+    "Quantifier",
+    "SelectBox",
+    "SelectItem",
+    "QueryBlock",
+    "normalize",
+    "merge_views",
+    "push_down_predicates",
+    "rewrite",
+]

@@ -1,0 +1,196 @@
+"""QGM rewrite heuristics (Section 3 / [PHH92]): view merging and
+predicate pushdown.
+
+These run before cost-based optimization and before the order scan, so
+interesting orders from an ORDER BY can later be pushed *through* what
+used to be a view boundary — the paper's "pushed down in a join tree or
+view".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.expr.analysis import columns_of, conjuncts_of
+from repro.expr.nodes import BooleanExpr, BooleanOp, ColumnRef, Expression
+from repro.expr.transform import substitute_columns
+from repro.qgm.boxes import (
+    BaseTableQuantifier,
+    Box,
+    BoxQuantifier,
+    GroupByBox,
+    SelectBox,
+    SelectItem,
+)
+
+
+def rewrite(root: Box) -> Box:
+    """Apply all rewrites until fixpoint (they are cheap and confluent)."""
+    root = merge_views(root)
+    root = push_down_predicates(root)
+    return root
+
+
+def _and_all(conjuncts: List[Expression]) -> Optional[Expression]:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BooleanExpr(BooleanOp.AND, tuple(conjuncts))
+
+
+def merge_views(box: Box) -> Box:
+    """Merge mergeable SELECT-box quantifiers into their parent.
+
+    A view is mergeable when it is a plain SELECT box: no DISTINCT, no
+    grouping, no ORDER BY of its own. Its predicate conjoins into the
+    parent and parent references to its outputs are replaced by the
+    underlying expressions.
+    """
+    from repro.qgm.boxes import UnionBox
+
+    if isinstance(box, UnionBox):
+        box.branches = [merge_views(branch) for branch in box.branches]
+        return box
+    if isinstance(box, GroupByBox):
+        inner = box.quantifier
+        if isinstance(inner, BoxQuantifier):
+            inner.box = merge_views(inner.box)
+        return box
+    if not isinstance(box, SelectBox):
+        return box
+
+    changed = True
+    while changed:
+        changed = False
+        new_quantifiers = []
+        substitution: Dict[ColumnRef, Expression] = {}
+        extra_predicates: List[Expression] = []
+        for quantifier in box.quantifiers():
+            if isinstance(quantifier, BoxQuantifier):
+                quantifier.box = merge_views(quantifier.box)
+                view = quantifier.box
+                if (
+                    isinstance(view, SelectBox)
+                    and not view.distinct
+                    and view.output_order.is_empty()
+                    and view.fetch_first is None
+                    and not view.outer_joins
+                    and quantifier.alias not in box.outer_joins
+                    # Views still containing nested boxes (a GROUP BY or
+                    # another unmergeable view) stay whole: they are
+                    # planned as derived tables.
+                    and all(
+                        isinstance(inner, BaseTableQuantifier)
+                        for inner in view.quantifiers()
+                    )
+                ):
+                    for item in view.items:
+                        exposed = ColumnRef(quantifier.alias, item.name)
+                        substitution[exposed] = item.expression
+                    new_quantifiers.extend(view.quantifiers())
+                    if view.predicate is not None:
+                        extra_predicates.append(view.predicate)
+                    changed = True
+                    continue
+            new_quantifiers.append(quantifier)
+        if changed:
+            box._quantifiers = new_quantifiers
+            box.items = [
+                SelectItem(
+                    substitute_columns(item.expression, substitution),
+                    item.name,
+                )
+                for item in box.items
+            ]
+            predicates = []
+            if box.predicate is not None:
+                predicates.append(
+                    substitute_columns(box.predicate, substitution)
+                )
+            predicates.extend(extra_predicates)
+            box.predicate = _and_all(predicates)
+            box.output_order = _substitute_order(
+                box.output_order, substitution, box.items
+            )
+    return box
+
+
+def _substitute_order(
+    order, substitution: Dict[ColumnRef, Expression], items: List[SelectItem]
+):
+    """Rewrite order-requirement keys through a view-merge substitution."""
+    from repro.core.ordering import OrderSpec
+
+    if order.is_empty():
+        return order
+    keys = []
+    for key in order:
+        replacement = substitution.get(key.column)
+        if replacement is None:
+            keys.append(key)
+        elif isinstance(replacement, ColumnRef):
+            keys.append(key.with_column(replacement))
+        else:
+            # Computed view column: order by the parent item exposing it.
+            exposed = next(
+                (
+                    item.output
+                    for item in items
+                    if item.expression == replacement
+                ),
+                None,
+            )
+            if exposed is None:
+                keys.append(key)
+            else:
+                keys.append(key.with_column(exposed))
+    return OrderSpec(keys)
+
+
+def push_down_predicates(box: Box) -> Box:
+    """Push HAVING conjuncts that mention only grouping columns below the
+    GROUP BY (the classical transformation; [YL93, CS93])."""
+    from repro.qgm.boxes import UnionBox
+
+    if isinstance(box, UnionBox):
+        box.branches = [
+            push_down_predicates(branch) for branch in box.branches
+        ]
+        return box
+    if isinstance(box, SelectBox):
+        for quantifier in box.quantifiers():
+            if isinstance(quantifier, BoxQuantifier):
+                quantifier.box = push_down_predicates(quantifier.box)
+        quantifiers = box.quantifiers()
+        if (
+            len(quantifiers) == 1
+            and isinstance(quantifiers[0], BoxQuantifier)
+            and isinstance(quantifiers[0].box, GroupByBox)
+            and box.predicate is not None
+        ):
+            group_box = quantifiers[0].box
+            group_set = set(group_box.group_columns)
+            pushable: List[Expression] = []
+            residual: List[Expression] = []
+            for conjunct in conjuncts_of(box.predicate):
+                if columns_of(conjunct) <= group_set:
+                    pushable.append(conjunct)
+                else:
+                    residual.append(conjunct)
+            if pushable:
+                inner = group_box.quantifier
+                if isinstance(inner, BoxQuantifier) and isinstance(
+                    inner.box, SelectBox
+                ):
+                    core = inner.box
+                    merged = conjuncts_of(core.predicate) + pushable
+                    core.predicate = _and_all(merged)
+                    box.predicate = _and_all(residual)
+        return box
+    if isinstance(box, GroupByBox):
+        inner = box.quantifier
+        if isinstance(inner, BoxQuantifier):
+            inner.box = push_down_predicates(inner.box)
+        return box
+    return box

@@ -1,0 +1,184 @@
+"""Declared SQL data types.
+
+Types are lightweight, immutable descriptors. They know how to validate
+and coerce Python values, estimate their on-page width (the storage layer
+and cost model both need record widths), and decide comparability.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TypeSystemError
+
+
+class TypeFamily(enum.Enum):
+    """Coarse classification used for comparability and coercion rules."""
+
+    NUMERIC = "numeric"
+    CHARACTER = "character"
+    DATETIME = "datetime"
+    BOOLEAN = "boolean"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base descriptor for a declared SQL type.
+
+    Attributes:
+        name: SQL spelling, e.g. ``"INTEGER"``.
+        family: coarse family used for comparability checks.
+        width: estimated stored width in bytes (used by the cost model).
+    """
+
+    name: str
+    family: TypeFamily
+    width: int
+
+    def validate(self, value):
+        """Return ``value`` coerced to this type, or raise TypeSystemError.
+
+        ``None`` (SQL NULL) is always legal and returned unchanged.
+        """
+        if value is None:
+            return None
+        return self._coerce(value)
+
+    def _coerce(self, value):
+        raise NotImplementedError
+
+    def is_comparable_with(self, other: "DataType") -> bool:
+        """Whether values of this type can be compared with ``other``'s."""
+        return self.family is other.family
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntegerType(DataType):
+    """32/64-bit integers (we do not distinguish; Python ints are exact)."""
+
+    def _coerce(self, value):
+        if isinstance(value, bool):
+            raise TypeSystemError(f"cannot store boolean {value!r} in {self.name}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, decimal.Decimal) and value == value.to_integral_value():
+            return int(value)
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+@dataclass(frozen=True)
+class DoubleType(DataType):
+    """Double-precision floating point."""
+
+    def _coerce(self, value):
+        if isinstance(value, bool):
+            raise TypeSystemError(f"cannot store boolean {value!r} in {self.name}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, decimal.Decimal):
+            return float(value)
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+@dataclass(frozen=True)
+class DecimalType(DataType):
+    """Fixed-point DECIMAL(precision, scale)."""
+
+    precision: int = 15
+    scale: int = 2
+
+    def _coerce(self, value):
+        if isinstance(value, bool):
+            raise TypeSystemError(f"cannot store boolean {value!r} in {self.name}")
+        if isinstance(value, (int, decimal.Decimal)):
+            quantum = decimal.Decimal(1).scaleb(-self.scale)
+            return decimal.Decimal(value).quantize(
+                quantum, rounding=decimal.ROUND_HALF_UP
+            )
+        if isinstance(value, float):
+            quantum = decimal.Decimal(1).scaleb(-self.scale)
+            return decimal.Decimal(str(value)).quantize(
+                quantum, rounding=decimal.ROUND_HALF_UP
+            )
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+@dataclass(frozen=True)
+class VarcharType(DataType):
+    """Variable-length character strings with a declared maximum."""
+
+    max_length: int = 255
+
+    def _coerce(self, value):
+        if isinstance(value, str):
+            if len(value) > self.max_length:
+                raise TypeSystemError(
+                    f"string of length {len(value)} exceeds {self.name}"
+                )
+            return value
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+@dataclass(frozen=True)
+class DateType(DataType):
+    """Calendar dates."""
+
+    def _coerce(self, value):
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeSystemError(f"bad date literal {value!r}") from exc
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+@dataclass(frozen=True)
+class BooleanType(DataType):
+    """SQL BOOLEAN (used only for predicate results, never stored)."""
+
+    def _coerce(self, value):
+        if isinstance(value, bool):
+            return value
+        raise TypeSystemError(f"cannot store {value!r} in {self.name}")
+
+
+INTEGER = IntegerType("INTEGER", TypeFamily.NUMERIC, 4)
+DOUBLE = DoubleType("DOUBLE", TypeFamily.NUMERIC, 8)
+DATE = DateType("DATE", TypeFamily.DATETIME, 4)
+BOOLEAN = BooleanType("BOOLEAN", TypeFamily.BOOLEAN, 1)
+
+
+def decimal_type(precision: int = 15, scale: int = 2) -> DecimalType:
+    """Build a DECIMAL(precision, scale) type descriptor."""
+    if precision < 1 or scale < 0 or scale > precision:
+        raise TypeSystemError(f"bad DECIMAL({precision},{scale})")
+    return DecimalType(
+        f"DECIMAL({precision},{scale})",
+        TypeFamily.NUMERIC,
+        precision // 2 + 1,
+        precision,
+        scale,
+    )
+
+
+def varchar(max_length: int) -> VarcharType:
+    """Build a VARCHAR(max_length) type descriptor."""
+    if max_length < 1:
+        raise TypeSystemError(f"bad VARCHAR({max_length})")
+    # Estimated stored width: assume half-full variable strings.
+    return VarcharType(
+        f"VARCHAR({max_length})",
+        TypeFamily.CHARACTER,
+        max(1, max_length // 2),
+        max_length,
+    )

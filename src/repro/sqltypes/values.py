@@ -1,0 +1,188 @@
+"""Runtime value semantics: NULLs, three-valued comparison, sort keys.
+
+SQL NULL is represented by Python ``None`` inside records. Comparisons
+involving NULL yield ``None`` (unknown) under three-valued logic, while
+*sorting* needs a total order, so :func:`sort_key` places NULLs after all
+non-NULL values in ascending order (DB2 sorts NULLs high).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from typing import Any, Optional
+
+from repro.errors import TypeSystemError
+
+
+class SqlNull:
+    """Singleton marker usable where a distinguished NULL object is handy.
+
+    Records store plain ``None``; this object exists for readability in
+    literals (``Literal(NULL)``) and prints as ``NULL``.
+    """
+
+    _instance: Optional["SqlNull"] = None
+
+    def __new__(cls) -> "SqlNull":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = SqlNull()
+
+
+def is_null(value: Any) -> bool:
+    """True when ``value`` is SQL NULL (either ``None`` or the marker)."""
+    return value is None or value is NULL
+
+
+def coerce_value(value: Any) -> Any:
+    """Normalize a Python value for storage in a record.
+
+    The NULL marker becomes ``None``; everything else passes through.
+    """
+    if value is NULL:
+        return None
+    return value
+
+
+_NUMERIC = (int, float, decimal.Decimal)
+
+
+def _comparable(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC):
+        return True
+    if isinstance(left, str) and isinstance(right, str):
+        return True
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return True
+    return False
+
+
+def sql_compare(left: Any, right: Any) -> Optional[int]:
+    """Three-valued comparison.
+
+    Returns -1, 0, or 1 for definite orderings, and ``None`` when either
+    side is NULL (unknown). Raises TypeSystemError on incomparable types,
+    because that is a planning bug, not a data condition.
+    """
+    if is_null(left) or is_null(right):
+        return None
+    if not _comparable(left, right):
+        raise TypeSystemError(f"cannot compare {left!r} with {right!r}")
+    if isinstance(left, decimal.Decimal) or isinstance(right, decimal.Decimal):
+        left = decimal.Decimal(str(left)) if isinstance(left, float) else left
+        right = decimal.Decimal(str(right)) if isinstance(right, float) else right
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def sql_equal(left: Any, right: Any) -> Optional[bool]:
+    """Three-valued equality: ``None`` when either side is NULL."""
+    cmp = sql_compare(left, right)
+    if cmp is None:
+        return None
+    return cmp == 0
+
+
+class _NullsHigh:
+    """Sort-key wrapper that compares greater than every non-NULL value."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return isinstance(other, _NullsHigh)
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, _NullsHigh)
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _NullsHigh)
+
+    def __hash__(self) -> int:
+        return hash("_NullsHigh")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<nulls-high>"
+
+
+class _Reversed:
+    """Sort-key wrapper inverting the order of the wrapped key.
+
+    Used for DESC sort columns so one stable ``list.sort`` handles mixed
+    ASC/DESC specifications.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __le__(self, other: "_Reversed") -> bool:
+        return other.key <= self.key
+
+    def __gt__(self, other: "_Reversed") -> bool:
+        return other.key > self.key
+
+    def __ge__(self, other: "_Reversed") -> bool:
+        return other.key >= self.key
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(("_Reversed", self.key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"desc({self.key!r})"
+
+
+_NULLS_HIGH = _NullsHigh()
+
+
+def sort_key(value: Any, descending: bool = False) -> Any:
+    """Total-order sort key for one value.
+
+    NULLs sort after all values ascending (and therefore first descending),
+    matching DB2. Decimals and floats are unified so mixed numeric columns
+    sort consistently.
+    """
+    if is_null(value):
+        key: Any = _NULLS_HIGH
+    elif isinstance(value, decimal.Decimal):
+        key = (0, value)
+    elif isinstance(value, bool):
+        key = (2, value)
+    elif isinstance(value, (int, float)):
+        key = (0, decimal.Decimal(str(value)))
+    elif isinstance(value, str):
+        key = (1, value)
+    elif isinstance(value, datetime.date):
+        key = (3, value.toordinal())
+    else:
+        raise TypeSystemError(f"unsortable value {value!r}")
+    if descending:
+        return _Reversed(key)
+    return key

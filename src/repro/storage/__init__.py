@@ -1,0 +1,23 @@
+"""Storage layer: pages, buffer pool, heap files, B+-tree indexes.
+
+Everything the engine reads flows through a :class:`BufferPool`, which
+counts sequential and random page accesses. Those counts drive both the
+cost model's calibration and the simulated-I/O component of benchmark
+timings — this layer is the stand-in for the paper's disks, prefetching,
+and big-block I/O.
+"""
+
+from repro.storage.buffer import BufferPool, IoStats
+from repro.storage.heap import HeapFile, Rid
+from repro.storage.btree import BPlusTree
+from repro.storage.database import Database, StoredTable
+
+__all__ = [
+    "BufferPool",
+    "IoStats",
+    "HeapFile",
+    "Rid",
+    "BPlusTree",
+    "Database",
+    "StoredTable",
+]

@@ -1,0 +1,292 @@
+"""A B+-tree index with linked leaves and I/O accounting.
+
+Keys are tuples of sort-key-encoded column values (so mixed directions
+and NULLs-high semantics come for free); values are heap RIDs. Duplicate
+keys are allowed — each leaf entry is an independent (key, rid) pair.
+
+Every node visit is charged to the buffer pool: descents are random
+accesses, walking the leaf chain is sequential in leaf numbering (which
+matches physical order after bulk load, so range scans model as
+prefetch-friendly I/O).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import Rid
+
+Key = Tuple[Any, ...]
+
+
+class _Node:
+    __slots__ = ("node_id", "keys", "is_leaf")
+
+    def __init__(self, node_id: int, is_leaf: bool):
+        self.node_id = node_id
+        self.keys: List[Key] = []
+        self.is_leaf = is_leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next_leaf", "prev_leaf")
+
+    def __init__(self, node_id: int):
+        super().__init__(node_id, True)
+        self.values: List[Rid] = []
+        self.next_leaf: Optional["_Leaf"] = None
+        self.prev_leaf: Optional["_Leaf"] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, node_id: int):
+        super().__init__(node_id, False)
+        self.children: List[_Node] = []
+
+
+class BPlusTree:
+    """B+-tree mapping composite keys to RIDs."""
+
+    def __init__(self, file_id: str, buffer_pool: BufferPool, fanout: int = 64):
+        if fanout < 4:
+            raise StorageError("fanout must be at least 4")
+        self.file_id = file_id
+        self.buffer_pool = buffer_pool
+        self.fanout = fanout
+        self._next_node_id = 0
+        self._root: _Node = self._new_leaf()
+        self._height = 1
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+
+    def _new_leaf(self) -> _Leaf:
+        leaf = _Leaf(self._next_node_id)
+        self._next_node_id += 1
+        return leaf
+
+    def _new_internal(self) -> _Internal:
+        node = _Internal(self._next_node_id)
+        self._next_node_id += 1
+        return node
+
+    def _touch(self, node: _Node) -> None:
+        self.buffer_pool.access((self.file_id, node.node_id))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def insert(self, key: Key, rid: Rid) -> None:
+        """Insert one entry (duplicates allowed)."""
+        split = self._insert_into(self._root, key, rid)
+        if split is not None:
+            separator, new_node = split
+            new_root = self._new_internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, new_node]
+            self._root = new_root
+            self._height += 1
+        self._entry_count += 1
+
+    def _insert_into(
+        self, node: _Node, key: Key, rid: Rid
+    ) -> Optional[Tuple[Key, _Node]]:
+        if node.is_leaf:
+            leaf = node  # type: ignore[assignment]
+            position = bisect.bisect_right(leaf.keys, key)
+            leaf.keys.insert(position, key)
+            leaf.values.insert(position, rid)
+            if len(leaf.keys) > self.fanout:
+                return self._split_leaf(leaf)
+            return None
+        internal = node  # type: ignore[assignment]
+        child_index = bisect.bisect_right(internal.keys, key)
+        split = self._insert_into(internal.children[child_index], key, rid)
+        if split is None:
+            return None
+        separator, new_child = split
+        internal.keys.insert(child_index, separator)
+        internal.children.insert(child_index + 1, new_child)
+        if len(internal.children) > self.fanout:
+            return self._split_internal(internal)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Key, _Node]:
+        middle = len(leaf.keys) // 2
+        sibling = self._new_leaf()
+        sibling.keys = leaf.keys[middle:]
+        sibling.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        sibling.next_leaf = leaf.next_leaf
+        if sibling.next_leaf is not None:
+            sibling.next_leaf.prev_leaf = sibling
+        sibling.prev_leaf = leaf
+        leaf.next_leaf = sibling
+        return sibling.keys[0], sibling
+
+    def _split_internal(self, node: _Internal) -> Tuple[Key, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        sibling = self._new_internal()
+        sibling.keys = node.keys[middle + 1 :]
+        sibling.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, sibling
+
+    def bulk_load(self, entries: Sequence[Tuple[Key, Rid]]) -> None:
+        """Replace the tree's contents from pre-sorted (or not) entries.
+
+        Builds packed leaves bottom-up; resulting leaf numbering is
+        monotone in key order so chain walks register as sequential I/O.
+        """
+        ordered = sorted(entries, key=lambda entry: entry[0])
+        self._next_node_id = 0
+        self._entry_count = len(ordered)
+        per_leaf = max(2, (self.fanout * 3) // 4)
+        leaves: List[_Leaf] = []
+        for start in range(0, len(ordered), per_leaf):
+            leaf = self._new_leaf()
+            chunk = ordered[start : start + per_leaf]
+            leaf.keys = [key for key, _rid in chunk]
+            leaf.values = [rid for _key, rid in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+                leaf.prev_leaf = leaves[-1]
+            leaves.append(leaf)
+        if not leaves:
+            self._root = self._new_leaf()
+            self._height = 1
+            return
+        level: List[_Node] = list(leaves)
+        self._height = 1
+        while len(level) > 1:
+            parents: List[_Node] = []
+            per_parent = max(2, (self.fanout * 3) // 4)
+            for start in range(0, len(level), per_parent):
+                parent = self._new_internal()
+                group = level[start : start + per_parent]
+                parent.children = group
+                parent.keys = [
+                    self._smallest_key(child) for child in group[1:]
+                ]
+                parents.append(parent)
+            level = parents
+            self._height += 1
+        self._root = level[0]
+
+    def _smallest_key(self, node: _Node) -> Key:
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: Optional[Key], rightmost: bool = False) -> _Leaf:
+        node = self._root
+        self._touch(node)
+        while not node.is_leaf:
+            internal = node  # type: ignore[assignment]
+            if key is None:
+                child = (
+                    internal.children[-1] if rightmost else internal.children[0]
+                )
+            else:
+                child_index = bisect.bisect_left(internal.keys, key)
+                # bisect_left sends equal keys to the left child, where
+                # the first duplicate lives.
+                child = internal.children[child_index]
+            node = child
+            self._touch(node)
+        return node  # type: ignore[return-value]
+
+    def scan_range(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        descending: bool = False,
+    ) -> Iterator[Tuple[Key, Rid]]:
+        """Iterate entries with ``low <= key <= high`` (bounds optional).
+
+        Bounds are prefix bounds: a bound tuple shorter than stored keys
+        compares against the key's prefix of the same length.
+        """
+        if self._entry_count == 0:
+            return
+        if descending:
+            yield from self._scan_descending(low, high, low_inclusive, high_inclusive)
+            return
+        leaf = self._descend(low)
+        while leaf is not None:
+            for position in range(len(leaf.keys)):
+                key = leaf.keys[position]
+                if low is not None:
+                    prefix = key[: len(low)]
+                    if prefix < low or (not low_inclusive and prefix == low):
+                        continue
+                if high is not None:
+                    prefix = key[: len(high)]
+                    if prefix > high or (not high_inclusive and prefix == high):
+                        return
+                yield key, leaf.values[position]
+            next_leaf = leaf.next_leaf
+            if next_leaf is not None:
+                self._touch(next_leaf)
+            leaf = next_leaf
+
+    def _scan_descending(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Iterator[Tuple[Key, Rid]]:
+        leaf = self._descend(high, rightmost=high is None)
+        # The first qualifying entry may be in a later leaf when ``high``
+        # lands at a leaf boundary with duplicates; walk right first.
+        while leaf.next_leaf is not None and (
+            high is None or leaf.next_leaf.keys[0][: len(high)] <= high
+        ):
+            leaf = leaf.next_leaf
+            self._touch(leaf)
+        while leaf is not None:
+            for position in range(len(leaf.keys) - 1, -1, -1):
+                key = leaf.keys[position]
+                if high is not None:
+                    prefix = key[: len(high)]
+                    if prefix > high or (not high_inclusive and prefix == high):
+                        continue
+                if low is not None:
+                    prefix = key[: len(low)]
+                    if prefix < low or (not low_inclusive and prefix == low):
+                        return
+                yield key, leaf.values[position]
+            previous = leaf.prev_leaf
+            if previous is not None:
+                self._touch(previous)
+            leaf = previous
+
+    def probe(self, key: Key) -> List[Rid]:
+        """Exact-match lookup of a full or prefix key."""
+        return [rid for _key, rid in self.scan_range(low=key, high=key)]

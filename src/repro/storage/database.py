@@ -1,0 +1,177 @@
+"""The database: catalog + storage + statistics in one handle.
+
+A :class:`Database` owns the buffer pool, a heap file per table, and a
+B+-tree per index. It is the object examples and benchmarks construct,
+load, and hand to the optimizer/executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog import Catalog, Index, TableSchema, TableStats
+from repro.core.ordering import SortDirection
+from repro.errors import CatalogError, StorageError
+from repro.sqltypes import sort_key
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, Rid
+
+PAGE_SIZE_BYTES = 4096
+
+
+def encode_index_key(
+    values: Sequence[Any], directions: Sequence[SortDirection]
+) -> Tuple[Any, ...]:
+    """Encode column values as a tree key honouring per-column direction.
+
+    Descending columns are stored under reversed sort keys, so a forward
+    leaf walk always yields the index's declared order.
+    """
+    return tuple(
+        sort_key(value, descending=(direction is SortDirection.DESC))
+        for value, direction in zip(values, directions)
+    )
+
+
+class StoredTable:
+    """One table's physical presence: heap file + index trees.
+
+    Declared keys (primary and unique) are *enforced* on insert and
+    load: the optimizer turns keys into functional dependencies, so a
+    violated key would silently license unsound sort eliminations.
+    """
+
+    def __init__(self, schema: TableSchema, buffer_pool: BufferPool):
+        self.schema = schema
+        rows_per_page = max(1, PAGE_SIZE_BYTES // max(1, schema.row_width()))
+        self.rows_per_page = rows_per_page
+        self.heap = HeapFile(f"heap:{schema.name}", buffer_pool, rows_per_page)
+        self.indexes: Dict[str, Tuple[Index, BPlusTree]] = {}
+        self._buffer_pool = buffer_pool
+        self._key_positions: List[Tuple[Tuple[str, ...], List[int]]] = [
+            (key, [schema.position(name) for name in key])
+            for key in schema.keys()
+        ]
+        self._key_values: List[set] = [set() for _key in self._key_positions]
+
+    def _check_keys(self, row: Tuple[Any, ...]) -> None:
+        for (key, positions), seen in zip(
+            self._key_positions, self._key_values
+        ):
+            values = tuple(row[position] for position in positions)
+            if any(value is None for value in values):
+                continue  # SQL: NULLs never collide in unique constraints
+            if values in seen:
+                raise CatalogError(
+                    f"duplicate key {key} = {values!r} in table "
+                    f"{self.schema.name}"
+                )
+            seen.add(values)
+
+    def insert(self, row: Sequence[Any]) -> Rid:
+        """Validate, key-check, store, and index one row."""
+        coerced = self.schema.validate_row(row)
+        self._check_keys(coerced)
+        rid = self.heap.append(coerced)
+        for index, tree in self.indexes.values():
+            tree.insert(self._index_key(index, coerced), rid)
+        return rid
+
+    def load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-load rows, rebuild indexes packed, refresh statistics."""
+        count = 0
+        validated: List[Tuple[Any, ...]] = []
+        self._key_values = [set() for _key in self._key_positions]
+        for row in rows:
+            coerced = self.schema.validate_row(row)
+            self._check_keys(coerced)
+            validated.append(coerced)
+            count += 1
+        self.heap.truncate()
+        rids = [self.heap.append(row) for row in validated]
+        for index, tree in self.indexes.values():
+            tree.bulk_load(
+                [
+                    (self._index_key(index, row), rid)
+                    for row, rid in zip(validated, rids)
+                ]
+            )
+        self.analyze()
+        return count
+
+    def _index_key(self, index: Index, row: Sequence[Any]) -> Tuple[Any, ...]:
+        positions = [self.schema.position(name) for name in index.key_names]
+        directions = [column.direction for column in index.key]
+        return encode_index_key(
+            [row[position] for position in positions], directions
+        )
+
+    def add_index(self, index: Index, fanout: int = 64) -> BPlusTree:
+        if index.name in self.indexes:
+            raise StorageError(f"index {index.name} already stored")
+        tree = BPlusTree(f"index:{index.name}", self._buffer_pool, fanout)
+        entries = [
+            (self._index_key(index, row), rid) for rid, row in self.heap.scan()
+        ]
+        tree.bulk_load(entries)
+        self.indexes[index.name] = (index, tree)
+        return tree
+
+    def analyze(self) -> TableStats:
+        """Recompute exact statistics from the stored rows."""
+        self.schema.stats = TableStats.collect(
+            self.schema.column_names,
+            (row for _rid, row in self.heap.scan()),
+            page_rows=self.rows_per_page,
+        )
+        return self.schema.stats
+
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+
+class Database:
+    """Catalog + storage, the one-stop handle for examples and benches."""
+
+    def __init__(self, buffer_pool_pages: int = 2048):
+        self.catalog = Catalog()
+        self.buffer_pool = BufferPool(buffer_pool_pages)
+        self._stores: Dict[str, StoredTable] = {}
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        rows: Optional[Iterable[Sequence[Any]]] = None,
+    ) -> StoredTable:
+        self.catalog.create_table(schema)
+        store = StoredTable(schema, self.buffer_pool)
+        self._stores[schema.name.lower()] = store
+        if rows is not None:
+            store.load(rows)
+        return store
+
+    def create_index(self, index: Index) -> BPlusTree:
+        self.catalog.create_index(index)
+        return self.store(index.table_name).add_index(index)
+
+    def store(self, table_name: str) -> StoredTable:
+        try:
+            return self._stores[table_name.lower()]
+        except KeyError:
+            raise CatalogError(f"no stored table {table_name}") from None
+
+    def index_tree(self, index_name: str) -> BPlusTree:
+        index = self.catalog.index(index_name)
+        return self.store(index.table_name).indexes[index.name][1]
+
+    def analyze_all(self) -> None:
+        for stored in self._stores.values():
+            stored.analyze()
+
+    def reset_io(self, cold: bool = False) -> None:
+        """Reset I/O counters; ``cold=True`` also empties the cache."""
+        if cold:
+            self.buffer_pool.clear()
+        else:
+            self.buffer_pool.reset_stats()

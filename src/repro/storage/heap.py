@@ -1,0 +1,75 @@
+"""Heap files: unordered pages of records addressed by RID."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+
+@dataclass(frozen=True)
+class Rid:
+    """Record identifier: page number + slot within the page."""
+
+    page_no: int
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"rid({self.page_no},{self.slot})"
+
+
+class HeapFile:
+    """A paged bag of tuples.
+
+    ``rows_per_page`` is derived from the schema's estimated row width by
+    the owning :class:`~repro.storage.database.StoredTable`; the heap
+    itself only needs the number.
+    """
+
+    def __init__(self, file_id: str, buffer_pool: BufferPool, rows_per_page: int):
+        if rows_per_page < 1:
+            raise StorageError("rows_per_page must be positive")
+        self.file_id = file_id
+        self.buffer_pool = buffer_pool
+        self.rows_per_page = rows_per_page
+        self._pages: List[List[Tuple[Any, ...]]] = []
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(page) for page in self._pages)
+
+    def append(self, row: Tuple[Any, ...]) -> Rid:
+        """Store one record, returning its RID. No I/O is charged: loading
+        is setup, not measured query work."""
+        if not self._pages or len(self._pages[-1]) >= self.rows_per_page:
+            self._pages.append([])
+        page_no = len(self._pages) - 1
+        self._pages[page_no].append(row)
+        return Rid(page_no, len(self._pages[page_no]) - 1)
+
+    def fetch(self, rid: Rid) -> Tuple[Any, ...]:
+        """Random-access one record by RID (charges one page access)."""
+        try:
+            page = self._pages[rid.page_no]
+            row = page[rid.slot]
+        except IndexError:
+            raise StorageError(f"bad {rid} in heap {self.file_id}") from None
+        self.buffer_pool.access((self.file_id, rid.page_no))
+        return row
+
+    def scan(self) -> Iterator[Tuple[Rid, Tuple[Any, ...]]]:
+        """Full sequential scan in physical order."""
+        for page_no, page in enumerate(self._pages):
+            self.buffer_pool.access((self.file_id, page_no))
+            for slot, row in enumerate(page):
+                yield Rid(page_no, slot), row
+
+    def truncate(self) -> None:
+        self._pages.clear()
+        self.buffer_pool.invalidate(self.file_id)

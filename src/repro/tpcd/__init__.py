@@ -1,0 +1,27 @@
+"""TPC-D substrate: schema, dbgen-style generator, and benchmark queries.
+
+The paper evaluates on a 1 GB TPC-D database (Section 8.1). We have no
+dbgen and no 1 GB budget inside unit tests, so this package generates a
+faithfully-shaped synthetic TPC-D database at a configurable scale
+factor (SF 1.0 ~ the official row counts; tests use SF 0.002-0.01,
+benchmarks SF 0.02-0.05). Distributions follow the TPC-D spec where they
+matter to the queries: order dates span 1992-1998, each order carries
+1-7 lineitems, ship dates trail order dates by 1-121 days, market
+segments are uniform over five values.
+"""
+
+from repro.tpcd.schema import TPCD_TABLES, tpcd_indexes, tpcd_schema
+from repro.tpcd.dbgen import TpcdGenerator, build_tpcd_database
+from repro.tpcd.queries import QUERY_1, QUERY_3, QUERY_3_PAPER, tpcd_query
+
+__all__ = [
+    "TPCD_TABLES",
+    "tpcd_indexes",
+    "tpcd_schema",
+    "TpcdGenerator",
+    "build_tpcd_database",
+    "QUERY_1",
+    "QUERY_3",
+    "QUERY_3_PAPER",
+    "tpcd_query",
+]

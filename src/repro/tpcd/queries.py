@@ -1,0 +1,136 @@
+"""TPC-D benchmark queries (the ones order optimization touches).
+
+``QUERY_3`` is the paper's Section 8.1 experiment subject. The paper's
+printed SQL contains a well-known typo (``c_custkey = o_orderkey``); we
+use the official predicate ``c_custkey = o_custkey`` — the typo'd join
+would be empty on real data. ``QUERY_3_PAPER`` preserves the printed
+text for reference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+
+# Q1: pricing summary report. GROUP BY + ORDER BY on the same columns —
+# one sort serves both (Cover Order); grouping columns have tiny NDV.
+QUERY_1 = """
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date('1998-09-02')
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+"""
+
+# Q3: shipping priority. The paper's experiment (with the join typo
+# corrected — see module docstring).
+QUERY_3 = """
+select l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) as rev,
+       o_orderdate, o_shippriority
+from customer, orders, lineitem
+where o_orderkey = l_orderkey
+  and c_custkey = o_custkey
+  and c_mktsegment = 'BUILDING'
+  and o_orderdate < date('1995-03-15')
+  and l_shipdate > date('1995-03-15')
+group by l_orderkey, o_orderdate, o_shippriority
+order by rev desc, o_orderdate
+"""
+
+# The text exactly as printed in the paper (including the typo), kept
+# for documentation; running it yields an empty result on spec data.
+QUERY_3_PAPER = """
+select l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) as rev,
+       o_orderdate, o_shippriority
+from customer, orders, lineitem
+where o_orderkey = l_orderkey
+  and c_custkey = o_orderkey
+  and c_mktsegment = 'BUILDING'
+  and o_orderdate < date('1995-03-15')
+  and l_shipdate > date('1995-03-15')
+group by l_orderkey, o_orderdate, o_shippriority
+order by rev desc, o_orderdate
+"""
+
+# Q4-like: order priority checking (simplified to our dialect — no
+# EXISTS; counts late-commit lineitems joined through orders).
+QUERY_4_LIKE = """
+select o_orderpriority, count(*) as order_count
+from orders, lineitem
+where l_orderkey = o_orderkey
+  and o_orderdate >= date('1993-07-01')
+  and o_orderdate < date('1993-10-01')
+  and l_receiptdate > l_commitdate
+group by o_orderpriority
+order by o_orderpriority
+"""
+
+# Q10-like: returned-item reporting, trimmed to tables our executor
+# joins comfortably at test scale.
+QUERY_10_LIKE = """
+select c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) as revenue,
+       c_acctbal, n_name
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate >= date('1993-10-01')
+  and o_orderdate < date('1994-01-01')
+  and l_returnflag = 'R'
+  and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, n_name
+order by revenue desc
+"""
+
+# Q5-like: local supplier volume (joins through nation; the region
+# dimension is folded into a nation-key range to stay in our dialect).
+QUERY_5_LIKE = """
+select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and c_nationkey = n_nationkey
+  and o_orderdate >= date('1994-01-01')
+  and o_orderdate < date('1995-01-01')
+group by n_name
+order by revenue desc
+"""
+
+# Q6: forecasting revenue change — a pure scalar aggregate, the case
+# where order optimization must know to do nothing.
+QUERY_6 = """
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date('1994-01-01')
+  and l_shipdate < date('1995-01-01')
+  and l_discount between 0.05 and 0.07
+  and l_quantity < 24
+"""
+
+_QUERIES = {
+    "q1": QUERY_1,
+    "q3": QUERY_3,
+    "q3_paper": QUERY_3_PAPER,
+    "q4": QUERY_4_LIKE,
+    "q5": QUERY_5_LIKE,
+    "q6": QUERY_6,
+    "q10": QUERY_10_LIKE,
+}
+
+
+def tpcd_query(name: str) -> str:
+    """Look up a query by short name ('q1', 'q3', ...)."""
+    try:
+        return _QUERIES[name.lower()]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown TPC-D query {name!r}; have {sorted(_QUERIES)}"
+        ) from None

@@ -1,0 +1,170 @@
+"""TPC-D table schemas and the benchmark index set."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog import Column, Index, TableSchema
+from repro.sqltypes import DATE, INTEGER, decimal_type, varchar
+
+MONEY = decimal_type(15, 2)
+
+TPCD_TABLES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+
+def tpcd_schema() -> Dict[str, TableSchema]:
+    """All eight TPC-D table schemas (comments shortened for memory)."""
+    return {
+        "region": TableSchema(
+            "region",
+            [
+                Column("r_regionkey", INTEGER, nullable=False),
+                Column("r_name", varchar(25), nullable=False),
+                Column("r_comment", varchar(32)),
+            ],
+            primary_key=("r_regionkey",),
+        ),
+        "nation": TableSchema(
+            "nation",
+            [
+                Column("n_nationkey", INTEGER, nullable=False),
+                Column("n_name", varchar(25), nullable=False),
+                Column("n_regionkey", INTEGER, nullable=False),
+                Column("n_comment", varchar(32)),
+            ],
+            primary_key=("n_nationkey",),
+        ),
+        "supplier": TableSchema(
+            "supplier",
+            [
+                Column("s_suppkey", INTEGER, nullable=False),
+                Column("s_name", varchar(25), nullable=False),
+                Column("s_address", varchar(40)),
+                Column("s_nationkey", INTEGER, nullable=False),
+                Column("s_phone", varchar(15)),
+                Column("s_acctbal", MONEY),
+                Column("s_comment", varchar(32)),
+            ],
+            primary_key=("s_suppkey",),
+        ),
+        "customer": TableSchema(
+            "customer",
+            [
+                Column("c_custkey", INTEGER, nullable=False),
+                Column("c_name", varchar(25), nullable=False),
+                Column("c_address", varchar(40)),
+                Column("c_nationkey", INTEGER, nullable=False),
+                Column("c_phone", varchar(15)),
+                Column("c_acctbal", MONEY),
+                Column("c_mktsegment", varchar(10)),
+                Column("c_comment", varchar(32)),
+            ],
+            primary_key=("c_custkey",),
+        ),
+        "part": TableSchema(
+            "part",
+            [
+                Column("p_partkey", INTEGER, nullable=False),
+                Column("p_name", varchar(55), nullable=False),
+                Column("p_mfgr", varchar(25)),
+                Column("p_brand", varchar(10)),
+                Column("p_type", varchar(25)),
+                Column("p_size", INTEGER),
+                Column("p_container", varchar(10)),
+                Column("p_retailprice", MONEY),
+                Column("p_comment", varchar(23)),
+            ],
+            primary_key=("p_partkey",),
+        ),
+        "partsupp": TableSchema(
+            "partsupp",
+            [
+                Column("ps_partkey", INTEGER, nullable=False),
+                Column("ps_suppkey", INTEGER, nullable=False),
+                Column("ps_availqty", INTEGER),
+                Column("ps_supplycost", MONEY),
+                Column("ps_comment", varchar(32)),
+            ],
+            primary_key=("ps_partkey", "ps_suppkey"),
+        ),
+        "orders": TableSchema(
+            "orders",
+            [
+                Column("o_orderkey", INTEGER, nullable=False),
+                Column("o_custkey", INTEGER, nullable=False),
+                Column("o_orderstatus", varchar(1)),
+                Column("o_totalprice", MONEY),
+                Column("o_orderdate", DATE, nullable=False),
+                Column("o_orderpriority", varchar(15)),
+                Column("o_clerk", varchar(15)),
+                Column("o_shippriority", INTEGER),
+                Column("o_comment", varchar(32)),
+            ],
+            primary_key=("o_orderkey",),
+        ),
+        "lineitem": TableSchema(
+            "lineitem",
+            [
+                Column("l_orderkey", INTEGER, nullable=False),
+                Column("l_partkey", INTEGER, nullable=False),
+                Column("l_suppkey", INTEGER, nullable=False),
+                Column("l_linenumber", INTEGER, nullable=False),
+                Column("l_quantity", INTEGER),
+                Column("l_extendedprice", MONEY),
+                Column("l_discount", decimal_type(4, 2)),
+                Column("l_tax", decimal_type(4, 2)),
+                Column("l_returnflag", varchar(1)),
+                Column("l_linestatus", varchar(1)),
+                Column("l_shipdate", DATE),
+                Column("l_commitdate", DATE),
+                Column("l_receiptdate", DATE),
+                Column("l_shipinstruct", varchar(25)),
+                Column("l_shipmode", varchar(10)),
+                Column("l_comment", varchar(27)),
+            ],
+            primary_key=("l_orderkey", "l_linenumber"),
+        ),
+    }
+
+
+def tpcd_indexes() -> List[Index]:
+    """The index set of the paper's warehouse configuration.
+
+    Figure 7 relies on a *clustered* index on ``l_orderkey`` (lineitems
+    are generated in order-key order, so clustering holds physically)
+    and on index access to ``orders`` by customer key.
+    """
+    return [
+        Index.on("pk_region", "region", ["r_regionkey"], unique=True),
+        Index.on("pk_nation", "nation", ["n_nationkey"], unique=True),
+        Index.on("pk_supplier", "supplier", ["s_suppkey"], unique=True),
+        Index.on(
+            "pk_customer", "customer", ["c_custkey"], unique=True,
+            clustered=True,
+        ),
+        Index.on("pk_part", "part", ["p_partkey"], unique=True),
+        Index.on(
+            "pk_partsupp", "partsupp", ["ps_partkey", "ps_suppkey"],
+            unique=True,
+        ),
+        Index.on(
+            "pk_orders", "orders", ["o_orderkey"], unique=True,
+            clustered=True,
+        ),
+        Index.on("idx_o_custkey", "orders", ["o_custkey"]),
+        Index.on("idx_o_orderdate", "orders", ["o_orderdate"]),
+        Index.on(
+            "idx_l_orderkey", "lineitem", ["l_orderkey"], clustered=True
+        ),
+        Index.on("idx_l_shipdate", "lineitem", ["l_shipdate"]),
+        Index.on("idx_c_mktsegment", "customer", ["c_mktsegment"]),
+    ]

@@ -1,0 +1,131 @@
+"""Catalog objects: tables, keys, indexes, registry."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, Index, IndexColumn, TableSchema
+from repro.core.ordering import OrderSpec, SortDirection
+from repro.errors import CatalogError
+from repro.expr import col
+from repro.sqltypes import INTEGER, varchar
+
+
+def make_table(name="t"):
+    return TableSchema(
+        name,
+        [
+            Column("a", INTEGER, nullable=False),
+            Column("b", INTEGER),
+            Column("c", varchar(10)),
+        ],
+        primary_key=("a",),
+        unique_keys=(("b", "c"),),
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("b").datatype is INTEGER
+        with pytest.raises(CatalogError):
+            table.column("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", INTEGER), Column("a", INTEGER)])
+
+    def test_key_columns_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", INTEGER)], primary_key=("zz",))
+
+    def test_keys_primary_first_no_duplicates(self):
+        table = TableSchema(
+            "t",
+            [Column("a", INTEGER), Column("b", INTEGER)],
+            primary_key=("a",),
+            unique_keys=(("a",), ("b",)),
+        )
+        assert table.keys() == [("a",), ("b",)]
+
+    def test_validate_row_coerces(self):
+        table = make_table()
+        row = table.validate_row((1, None, "hi"))
+        assert row == (1, None, "hi")
+
+    def test_validate_row_arity(self):
+        with pytest.raises(CatalogError):
+            make_table().validate_row((1, 2))
+
+    def test_validate_row_not_null(self):
+        with pytest.raises(CatalogError):
+            make_table().validate_row((None, 2, "x"))
+
+    def test_row_width_positive(self):
+        assert make_table().row_width() > 0
+
+    def test_position(self):
+        assert make_table().position("c") == 2
+
+
+class TestIndex:
+    def test_order_spec_with_directions(self):
+        index = Index(
+            "i",
+            "t",
+            [IndexColumn("a"), IndexColumn("b", SortDirection.DESC)],
+        )
+        spec = index.order_spec("q")
+        assert spec.columns == (col("q", "a"), col("q", "b"))
+        assert spec[1].direction is SortDirection.DESC
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", [])
+
+    def test_on_constructor(self):
+        index = Index.on("i", "t", ["a", "b"], unique=True)
+        assert index.key_names == ("a", "b")
+        assert index.unique
+
+
+class TestCatalog:
+    def test_create_and_lookup_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create_table(make_table("Orders"))
+        assert catalog.table("ORDERS").name == "Orders"
+        assert catalog.has_table("orders")
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_table())
+
+    def test_index_requires_table_and_columns(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_index(Index.on("i", "missing", ["a"]))
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_index(Index.on("i", "t", ["zz"]))
+
+    def test_indexes_on(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.create_index(Index.on("i1", "t", ["a"]))
+        catalog.create_index(Index.on("i2", "t", ["b"]))
+        assert {index.name for index in catalog.indexes_on("t")} == {"i1", "i2"}
+
+    def test_drop_table_cascades_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.create_index(Index.on("i1", "t", ["a"]))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("i1")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("nope")
+        with pytest.raises(CatalogError):
+            Catalog().drop_index("nope")

@@ -1,0 +1,95 @@
+"""Equi-depth histograms: skew-aware range selectivity."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Histogram, TableStats
+
+
+class TestHistogramBasics:
+    def test_uniform_data(self):
+        histogram = Histogram.from_values(list(range(1000)), buckets=16)
+        assert abs(histogram.fraction_below(500) - 0.5) < 0.05
+        assert histogram.fraction_below(-1) == 0.0
+        assert histogram.fraction_below(2000) == 1.0
+
+    def test_between(self):
+        histogram = Histogram.from_values(list(range(1000)), buckets=16)
+        assert abs(histogram.selectivity_between(250, 750) - 0.5) < 0.08
+
+    def test_skewed_data(self):
+        # 90% of mass at 5000; a uniform min/max model would be wildly
+        # wrong about the upper range.
+        values = list(range(500)) + [5000] * 4500
+        histogram = Histogram.from_values(values, buckets=32)
+        assert histogram.selectivity_between(4000, None) > 0.8
+
+    def test_single_value(self):
+        histogram = Histogram.from_values([7] * 100, buckets=8)
+        assert histogram.fraction_below(7) == 1.0
+        assert histogram.fraction_below(6) == 0.0
+
+    def test_empty_returns_none(self):
+        assert Histogram.from_values([], buckets=8) is None
+
+    def test_unnumeric_returns_none(self):
+        assert Histogram.from_values([object()], buckets=8) is None
+
+    def test_dates(self):
+        days = [
+            datetime.date(1995, 1, 1) + datetime.timedelta(days=i)
+            for i in range(365)
+        ]
+        histogram = Histogram.from_values(days, buckets=12)
+        mid = datetime.date(1995, 7, 2)
+        assert abs(histogram.fraction_below(mid) - 0.5) < 0.1
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=500,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_tracks_truth(self, values, probe):
+        histogram = Histogram.from_values(values, buckets=16)
+        truth = sum(1 for v in values if v <= probe) / len(values)
+        estimate = histogram.fraction_below(probe)
+        # Equi-depth error is bounded by ~2 bucket widths (the bucket
+        # count degrades to len(values) for tiny samples).
+        buckets = min(16, len(values))
+        assert abs(estimate - truth) <= 2 / buckets + 0.02
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_is_monotone(self, values):
+        histogram = Histogram.from_values(values, buckets=8)
+        fractions = [histogram.fraction_below(v) for v in range(0, 101, 5)]
+        assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+
+class TestCollectedHistograms:
+    def test_collect_attaches_histograms(self):
+        stats = TableStats.collect(["a"], [(i,) for i in range(200)])
+        assert stats.column("a").histogram is not None
+
+    def test_selectivity_uses_histogram_for_skew(self):
+        rows = [(i,) for i in range(100)] + [(9000,) for _ in range(900)]
+        stats = TableStats.collect(["a"], rows)
+        upper = stats.column("a").selectivity_range(8000, None)
+        assert upper > 0.7  # uniform model would estimate ~0.11
+
+    def test_string_columns_survive(self):
+        stats = TableStats.collect(["s"], [("abc",), ("zzz",), ("mmm",)])
+        sel = stats.column("s").selectivity_range(None, "nnn")
+        assert 0.0 <= sel <= 1.0

@@ -1,0 +1,72 @@
+"""Statistics collection and selectivity helpers."""
+
+import datetime
+
+from repro.catalog import ColumnStats, TableStats
+
+
+class TestCollect:
+    def test_counts_and_ndv(self):
+        stats = TableStats.collect(
+            ["a", "b"],
+            [(1, "x"), (2, "x"), (2, "y"), (None, "y")],
+        )
+        assert stats.row_count == 4
+        assert stats.column("a").ndv == 2
+        assert stats.column("b").ndv == 2
+        assert stats.column("a").null_count == 1
+
+    def test_min_max(self):
+        stats = TableStats.collect(["a"], [(5,), (1,), (9,)])
+        assert stats.column("a").low == 1
+        assert stats.column("a").high == 9
+
+    def test_pages_estimate(self):
+        stats = TableStats.collect(["a"], [(i,) for i in range(130)], page_rows=64)
+        assert stats.pages == 3
+
+    def test_empty_table(self):
+        stats = TableStats.collect(["a"], [])
+        assert stats.row_count == 0
+        assert stats.pages == 1
+
+    def test_unknown_column_default(self):
+        stats = TableStats.collect(["a"], [(1,)])
+        fallback = stats.column("missing")
+        assert fallback.ndv >= 1
+
+
+class TestSelectivity:
+    def test_equality(self):
+        column = ColumnStats(ndv=100)
+        assert column.selectivity_equal(1000) == 0.01
+
+    def test_range_numeric(self):
+        column = ColumnStats(ndv=10, low=0, high=100)
+        assert abs(column.selectivity_range(None, 50) - 0.5) < 1e-9
+        assert abs(column.selectivity_range(75, None) - 0.25) < 1e-9
+
+    def test_range_clamped(self):
+        column = ColumnStats(ndv=10, low=0, high=100)
+        assert column.selectivity_range(None, 1000) == 1.0
+        assert column.selectivity_range(1000, None) == 0.0
+
+    def test_range_dates(self):
+        column = ColumnStats(
+            ndv=10,
+            low=datetime.date(1992, 1, 1),
+            high=datetime.date(1998, 1, 1),
+        )
+        mid = datetime.date(1995, 1, 2)
+        fraction = column.selectivity_range(None, mid)
+        assert 0.4 < fraction < 0.6
+
+    def test_range_default_when_unknown(self):
+        column = ColumnStats()
+        assert abs(column.selectivity_range(None, 5) - 1 / 3) < 1e-9
+
+    def test_range_strings_monotone(self):
+        column = ColumnStats(ndv=5, low="AAA", high="ZZZ")
+        low = column.selectivity_range(None, "B")
+        high = column.selectivity_range(None, "Y")
+        assert 0.0 <= low < high <= 1.0

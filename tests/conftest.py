@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Column, Database, Index, TableSchema
+from repro.sqltypes import DATE, INTEGER, decimal_type, varchar
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    return Database()
+
+
+@pytest.fixture(scope="session")
+def simple_db() -> Database:
+    """Two joinable tables, large enough that index orders pay off.
+
+    Session-scoped and treated as read-only by tests.
+    """
+    rng = random.Random(42)
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "a",
+            [Column("x", INTEGER, nullable=False), Column("y", INTEGER)],
+            primary_key=("x",),
+        ),
+        rows=[(i, rng.randint(0, 9)) for i in range(5000)],
+    )
+    db.create_table(
+        TableSchema(
+            "b",
+            [Column("x", INTEGER, nullable=False), Column("z", INTEGER)],
+        ),
+        rows=[(rng.randint(0, 4999), rng.randint(0, 99)) for _ in range(8000)],
+    )
+    db.create_index(Index.on("a_x", "a", ["x"], unique=True, clustered=True))
+    db.create_index(Index.on("b_x", "b", ["x"], clustered=True))
+    return db
+
+
+@pytest.fixture(scope="session")
+def warehouse_db() -> Database:
+    """A three-table star-ish schema used by plan-shape tests.
+
+    Session-scoped and treated as read-only by tests.
+    """
+    rng = random.Random(7)
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "dim",
+            [
+                Column("k", INTEGER, nullable=False),
+                Column("attr", INTEGER),
+                Column("grp", varchar(10)),
+            ],
+            primary_key=("k",),
+        ),
+        rows=[
+            (i, rng.randint(0, 30), f"g{i % 5}") for i in range(1000)
+        ],
+    )
+    db.create_table(
+        TableSchema(
+            "fact",
+            [
+                Column("k", INTEGER, nullable=False),
+                Column("d", INTEGER, nullable=False),
+                Column("v", INTEGER),
+            ],
+        ),
+        rows=[
+            (rng.randint(0, 999), rng.randint(0, 49), rng.randint(0, 1000))
+            for _ in range(8000)
+        ],
+    )
+    db.create_table(
+        TableSchema(
+            "detail",
+            [
+                Column("d", INTEGER, nullable=False),
+                Column("w", INTEGER),
+            ],
+        ),
+        rows=[
+            (rng.randint(0, 49), rng.randint(0, 10)) for _ in range(2000)
+        ],
+    )
+    db.create_index(Index.on("dim_k", "dim", ["k"], unique=True, clustered=True))
+    db.create_index(Index.on("fact_k", "fact", ["k"], clustered=True))
+    db.create_index(Index.on("detail_d", "detail", ["d"], clustered=True))
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpcd_db():
+    """A tiny TPC-D database shared across the session (SF 0.002)."""
+    from repro.tpcd import build_tpcd_database
+
+    return build_tpcd_database(scale_factor=0.002, buffer_pool_pages=2048)

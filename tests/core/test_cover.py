@@ -1,0 +1,75 @@
+"""Cover Order (Figure 4)."""
+
+from repro.core import OrderContext, OrderSpec, cover_order
+from repro.core import test_order as check_order
+from repro.core.cover import cover_order_naive as naive_cover
+from repro.expr import col
+from repro.expr.nodes import Comparison, ComparisonOp, Literal
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+
+
+def eq_const(column, value):
+    return Comparison(ComparisonOp.EQ, column, Literal(value))
+
+
+class TestCoverOrder:
+    def test_prefix_cover(self):
+        """§4.3: cover of (x) and (x, y) is (x, y)."""
+        cover = cover_order(
+            OrderSpec.of(X), OrderSpec.of(X, Y), OrderContext.empty()
+        )
+        assert cover == OrderSpec.of(X, Y)
+
+    def test_cover_is_symmetric(self):
+        context = OrderContext.empty()
+        assert cover_order(
+            OrderSpec.of(X, Y), OrderSpec.of(X), context
+        ) == cover_order(OrderSpec.of(X), OrderSpec.of(X, Y), context)
+
+    def test_impossible_cover(self):
+        """§4.3: no cover for (y, x) and (x, y, z)."""
+        assert (
+            cover_order(
+                OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z), OrderContext.empty()
+            )
+            is None
+        )
+
+    def test_predicate_enables_cover(self):
+        """§4.3: with x = 10 applied, (y, x) and (x, y, z) reduce to (y)
+        and (y, z), giving cover (y, z)."""
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        cover = cover_order(
+            OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z), context
+        )
+        assert cover == OrderSpec.of(Y, Z)
+
+    def test_cover_satisfies_both_inputs(self):
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        first, second = OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z)
+        cover = cover_order(first, second, context)
+        assert check_order(first, cover, context)
+        assert check_order(second, cover, context)
+
+    def test_empty_covers_to_other(self):
+        cover = cover_order(
+            OrderSpec(), OrderSpec.of(X), OrderContext.empty()
+        )
+        assert cover == OrderSpec.of(X)
+
+    def test_identical_inputs(self):
+        spec = OrderSpec.of(X, Y)
+        assert cover_order(spec, spec, OrderContext.empty()) == spec
+
+
+class TestNaiveCover:
+    def test_prefix_works(self):
+        assert naive_cover(
+            OrderSpec.of(X), OrderSpec.of(X, Y)
+        ) == OrderSpec.of(X, Y)
+
+    def test_no_reduction(self):
+        # Without reduction the §4.3 example stays impossible even with
+        # the predicate notionally applied.
+        assert naive_cover(OrderSpec.of(Y, X), OrderSpec.of(X, Y, Z)) is None

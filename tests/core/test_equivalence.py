@@ -1,0 +1,63 @@
+"""Equivalence classes (union-find with stable heads)."""
+
+from repro.core.equivalence import EquivalenceClasses
+from repro.expr import col
+
+AX, AY = col("a", "x"), col("a", "y")
+BX, BY = col("b", "x"), col("b", "y")
+CX = col("c", "x")
+
+
+class TestEquivalenceClasses:
+    def test_unknown_column_is_its_own_head(self):
+        eq = EquivalenceClasses()
+        assert eq.head(AX) == AX
+        assert eq.members(AX) == frozenset((AX,))
+
+    def test_single_equality(self):
+        eq = EquivalenceClasses([(AX, BX)])
+        assert eq.are_equivalent(AX, BX)
+        assert eq.head(AX) == eq.head(BX)
+
+    def test_head_is_lexicographically_smallest(self):
+        eq = EquivalenceClasses([(BX, AX)])
+        assert eq.head(BX) == AX
+
+    def test_transitive_merge(self):
+        eq = EquivalenceClasses([(AX, BX), (BX, CX)])
+        assert eq.are_equivalent(AX, CX)
+        assert eq.members(AX) == frozenset((AX, BX, CX))
+
+    def test_head_insertion_order_independent(self):
+        one = EquivalenceClasses([(AX, BX), (BX, CX)])
+        two = EquivalenceClasses([(CX, BX), (BX, AX)])
+        assert one.head(CX) == two.head(CX) == AX
+
+    def test_distinct_classes_stay_apart(self):
+        eq = EquivalenceClasses([(AX, BX), (AY, BY)])
+        assert not eq.are_equivalent(AX, AY)
+        assert len(eq.classes()) == 2
+
+    def test_merged_with(self):
+        left = EquivalenceClasses([(AX, BX)])
+        right = EquivalenceClasses([(BX, CX)])
+        merged = left.merged_with(right)
+        assert merged.are_equivalent(AX, CX)
+        # Inputs untouched.
+        assert not left.are_equivalent(AX, CX)
+
+    def test_copy_is_independent(self):
+        eq = EquivalenceClasses([(AX, BX)])
+        duplicate = eq.copy()
+        duplicate.add_equality(AX, CX)
+        assert duplicate.are_equivalent(AX, CX)
+        assert not eq.are_equivalent(AX, CX)
+
+    def test_self_equality_is_noop(self):
+        eq = EquivalenceClasses()
+        eq.add_equality(AX, AX)
+        assert eq.members(AX) == frozenset((AX,))
+        assert eq.classes() == []
+
+    def test_are_equivalent_same_column(self):
+        assert EquivalenceClasses().are_equivalent(AX, AX)

@@ -1,0 +1,97 @@
+"""Functional dependencies and attribute closure."""
+
+import pytest
+
+from repro.core.fd import (
+    ALL_COLUMNS,
+    FDSet,
+    FunctionalDependency,
+    constant_fd,
+    fd,
+    key_fd,
+)
+from repro.errors import OrderError
+from repro.expr import col
+
+A, B, C, D = col("t", "a"), col("t", "b"), col("t", "c"), col("t", "d")
+
+
+class TestFunctionalDependency:
+    def test_empty_headed(self):
+        assert constant_fd(A).is_empty_headed()
+        assert not fd([A], [B]).is_empty_headed()
+
+    def test_key_fd_determines_all(self):
+        assert key_fd([A]).determines_all()
+        assert not fd([A], [B]).determines_all()
+
+    def test_bad_tail_rejected(self):
+        with pytest.raises(OrderError):
+            FunctionalDependency(frozenset([A]), [B])  # list, not frozenset
+
+    def test_str(self):
+        assert str(fd([A], [B])) == "{t.a} -> {t.b}"
+        assert str(key_fd([A])) == "{t.a} -> *"
+
+
+class TestClosure:
+    def test_reflexive(self):
+        closure = FDSet().closure([A])
+        assert A in closure
+        assert B not in closure
+
+    def test_transitive_chain(self):
+        fds = FDSet([fd([A], [B]), fd([B], [C])])
+        closure = fds.closure([A])
+        assert B in closure and C in closure
+
+    def test_compound_head_requires_all(self):
+        fds = FDSet([fd([A, B], [C])])
+        assert C not in fds.closure([A])
+        assert C in fds.closure([A, B])
+
+    def test_empty_headed_always_fires(self):
+        fds = FDSet([constant_fd(A)])
+        assert A in fds.closure([])
+
+    def test_key_fd_closure_determines_everything(self):
+        fds = FDSet([key_fd([A])])
+        closure = fds.closure([A])
+        assert closure.determines_everything
+        assert D in closure  # any column whatsoever
+
+    def test_determines(self):
+        fds = FDSet([fd([A], [B])])
+        assert fds.determines([A], B)
+        assert not fds.determines([B], A)
+
+    def test_implies(self):
+        fds = FDSet([fd([A], [B]), fd([B], [C])])
+        assert fds.implies(fd([A], [C]))
+        assert fds.implies(fd([A, D], [C]))  # augmentation
+        assert not fds.implies(fd([C], [A]))
+        assert not fds.implies(key_fd([A]))
+
+    def test_implies_key(self):
+        fds = FDSet([key_fd([A])])
+        assert fds.implies(key_fd([A]))
+        assert fds.implies(fd([A], [B, C, D]))
+
+
+class TestFDSet:
+    def test_add_is_persistent(self):
+        base = FDSet()
+        extended = base.add(fd([A], [B]))
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_add_deduplicates(self):
+        fds = FDSet([fd([A], [B])]).add(fd([A], [B]))
+        assert len(fds) == 1
+
+    def test_union(self):
+        left = FDSet([fd([A], [B])])
+        right = FDSet([fd([B], [C]), fd([A], [B])])
+        union = left.union(right)
+        assert len(union) == 2
+        assert union.determines([A], C)

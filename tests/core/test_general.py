@@ -1,0 +1,151 @@
+"""General (degrees-of-freedom) orders — Section 7."""
+
+import pytest
+
+from repro.core import GeneralOrderSpec, OrderContext, OrderSpec
+from repro.core.fd import fd
+from repro.core.general import OrderSegment
+from repro.core.ordering import OrderKey, SortDirection, asc, desc
+from repro.errors import OrderError
+from repro.expr import col
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+W = col("t", "w")
+
+
+class TestSegments:
+    def test_fixed_segment_invariant(self):
+        with pytest.raises(OrderError):
+            OrderSegment(frozenset((X, Y)), asc(X))
+
+    def test_free_segment_needs_columns(self):
+        with pytest.raises(OrderError):
+            OrderSegment.free([])
+
+
+class TestSixteenOrders:
+    """The paper's example: GROUP BY x, y with SUM(DISTINCT z) admits
+    exactly sixteen orders."""
+
+    def test_enumerates_sixteen(self):
+        general = GeneralOrderSpec.from_group_by_with_distinct_agg([X, Y], Z)
+        orders = general.enumerate_orders(limit=100)
+        assert len(orders) == 16
+        assert len(set(orders)) == 16
+
+    def test_every_enumerated_order_satisfies(self):
+        general = GeneralOrderSpec.from_group_by_with_distinct_agg([X, Y], Z)
+        context = OrderContext.empty()
+        for order in general.enumerate_orders(limit=100):
+            assert general.satisfied_by(order, context)
+
+    def test_wrong_segment_order_fails(self):
+        general = GeneralOrderSpec.from_group_by_with_distinct_agg([X, Y], Z)
+        # z before the {x, y} segment is exhausted.
+        assert not general.satisfied_by(
+            OrderSpec.of(X, Z, Y), OrderContext.empty()
+        )
+
+
+class TestSatisfaction:
+    def test_any_permutation_any_direction(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        context = OrderContext.empty()
+        assert general.satisfied_by(OrderSpec.of(X, Y), context)
+        assert general.satisfied_by(OrderSpec.of(Y, X), context)
+        assert general.satisfied_by(OrderSpec((desc(Y), asc(X))), context)
+
+    def test_missing_column_fails(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        assert not general.satisfied_by(OrderSpec.of(X), OrderContext.empty())
+
+    def test_foreign_column_interrupting_fails(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        assert not general.satisfied_by(
+            OrderSpec.of(X, Z, Y), OrderContext.empty()
+        )
+
+    def test_fd_shrinks_requirement(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        context = OrderContext.empty().with_fd(fd([X], [Y]))
+        assert general.satisfied_by(OrderSpec.of(X), context)
+
+    def test_constant_column_auto_satisfied(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        context = OrderContext.empty().with_constant(X)
+        assert general.satisfied_by(OrderSpec.of(Y), context)
+
+    def test_equivalence_mapping(self):
+        other = col("u", "x")
+        general = GeneralOrderSpec.from_group_by([X])
+        context = OrderContext.empty().with_equality(X, other)
+        assert general.satisfied_by(OrderSpec.of(other), context)
+
+    def test_fixed_segment_direction_enforced(self):
+        general = GeneralOrderSpec.from_spec(OrderSpec((desc(X),)))
+        assert general.satisfied_by(OrderSpec((desc(X),)), OrderContext.empty())
+        assert not general.satisfied_by(OrderSpec.of(X), OrderContext.empty())
+
+    def test_empty_general_satisfied_by_anything(self):
+        general = GeneralOrderSpec.from_group_by([])
+        assert general.satisfied_by(OrderSpec(), OrderContext.empty())
+
+
+class TestConcrete:
+    def test_concrete_satisfies_itself(self):
+        general = GeneralOrderSpec.from_group_by([Y, X, Z])
+        context = OrderContext.empty()
+        concrete = general.concrete(context)
+        assert general.satisfied_by(concrete, context)
+
+    def test_concrete_is_deterministic(self):
+        general = GeneralOrderSpec.from_group_by([Z, X, Y])
+        one = general.concrete(OrderContext.empty())
+        two = general.concrete(OrderContext.empty())
+        assert one == two
+
+    def test_concrete_drops_fd_redundant_columns(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        context = OrderContext.empty().with_fd(fd([X], [Y]))
+        assert general.concrete(context) == OrderSpec.of(X)
+
+    def test_hint_biases_column_order_and_direction(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        hint = OrderSpec((desc(Y),))
+        concrete = general.concrete(OrderContext.empty(), hint=hint)
+        assert concrete.head() == desc(Y)
+
+
+class TestAlignedWith:
+    def test_alignment_with_prefix_order_by(self):
+        """Figure 6's situation: GROUP BY {x, y} aligned with ORDER BY
+        (x) yields one order satisfying both."""
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        context = OrderContext.empty()
+        aligned = general.aligned_with(OrderSpec.of(X), context)
+        assert aligned is not None
+        assert aligned.head() == asc(X)
+        assert general.satisfied_by(aligned, context)
+        assert OrderSpec.of(X).is_prefix_of(aligned)
+
+    def test_alignment_fails_on_foreign_leading_column(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        aligned = general.aligned_with(OrderSpec.of(Z), OrderContext.empty())
+        assert aligned is None
+
+    def test_alignment_with_longer_order_by(self):
+        # ORDER BY covers the group columns and goes beyond: the longer
+        # order satisfies both.
+        general = GeneralOrderSpec.from_group_by([X])
+        aligned = general.aligned_with(
+            OrderSpec.of(X, Z), OrderContext.empty()
+        )
+        assert aligned == OrderSpec.of(X, Z)
+
+    def test_alignment_respects_hint_directions(self):
+        general = GeneralOrderSpec.from_group_by([X, Y])
+        aligned = general.aligned_with(
+            OrderSpec((desc(X),)), OrderContext.empty()
+        )
+        assert aligned is not None
+        assert aligned.head() == desc(X)

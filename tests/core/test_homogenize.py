@@ -1,0 +1,91 @@
+"""Homogenize Order (Figure 5)."""
+
+from repro.core import (
+    OrderContext,
+    OrderSpec,
+    homogenize_order,
+    homogenize_prefix,
+)
+from repro.core.fd import fd
+from repro.core.ordering import desc
+from repro.expr import col
+
+AX, AY = col("a", "x"), col("a", "y")
+BX, BY = col("b", "x"), col("b", "y")
+
+
+class TestHomogenizeOrder:
+    def test_paper_join_example(self):
+        """§4.4: order by a.x, b.y with a.x = b.x homogenizes to table b
+        as (b.x, b.y)."""
+        context = OrderContext.empty().with_equality(AX, BX)
+        result = homogenize_order(
+            OrderSpec.of(AX, BY), [BX, BY], context
+        )
+        assert result == OrderSpec.of(BX, BY)
+
+    def test_paper_key_example(self):
+        """§4.4: (a.x, b.y) cannot reach table a directly, but with
+        {a.x} -> {b.y} it reduces to (a.x) first."""
+        context = OrderContext.empty()
+        assert homogenize_order(OrderSpec.of(AX, BY), [AX, AY], context) is None
+        with_fd = context.with_fd(fd([AX], [BY]))
+        assert homogenize_order(
+            OrderSpec.of(AX, BY), [AX, AY], with_fd
+        ) == OrderSpec.of(AX)
+
+    def test_identity_when_columns_present(self):
+        spec = OrderSpec.of(AX, AY)
+        assert homogenize_order(spec, [AX, AY], OrderContext.empty()) == spec
+
+    def test_direction_preserved(self):
+        context = OrderContext.empty().with_equality(AX, BX)
+        result = homogenize_order(OrderSpec((desc(AX),)), [BX], context)
+        assert result == OrderSpec((desc(BX),))
+
+    def test_untranslatable_column_fails(self):
+        assert (
+            homogenize_order(OrderSpec.of(AX), [BY], OrderContext.empty())
+            is None
+        )
+
+    def test_deterministic_choice_among_candidates(self):
+        # a.x = b.x = b.y: both b columns qualify; the lexicographically
+        # first is chosen so plans are reproducible.
+        context = (
+            OrderContext.empty()
+            .with_equality(AX, BX)
+            .with_equality(BX, BY)
+        )
+        result = homogenize_order(OrderSpec.of(AX), [BX, BY], context)
+        assert result == OrderSpec.of(BX)
+
+    def test_collapsing_substitution(self):
+        # Both a.x and a.y map to the same b column: dedupe, keep first.
+        context = (
+            OrderContext.empty()
+            .with_equality(AX, BX)
+            .with_equality(AY, BX)
+        )
+        result = homogenize_order(OrderSpec.of(AX, AY), [BX], context)
+        assert result == OrderSpec.of(BX)
+
+
+class TestHomogenizePrefix:
+    def test_full_when_possible(self):
+        context = OrderContext.empty().with_equality(AX, BX)
+        assert homogenize_prefix(
+            OrderSpec.of(AX), [BX], context
+        ) == OrderSpec.of(BX)
+
+    def test_largest_prefix(self):
+        """§5.1: push the largest homogenizable prefix optimistically."""
+        context = OrderContext.empty().with_equality(AX, BX)
+        result = homogenize_prefix(OrderSpec.of(AX, AY), [BX, BY], context)
+        assert result == OrderSpec.of(BX)
+
+    def test_empty_when_head_fails(self):
+        result = homogenize_prefix(
+            OrderSpec.of(AY, AX), [BX], OrderContext.empty()
+        )
+        assert result.is_empty()

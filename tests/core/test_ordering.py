@@ -1,0 +1,85 @@
+"""OrderSpec / OrderKey basics."""
+
+import pytest
+
+from repro.core.ordering import OrderKey, OrderSpec, SortDirection, asc, desc
+from repro.errors import OrderError
+from repro.expr import col
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+
+
+class TestOrderKey:
+    def test_default_direction_is_ascending(self):
+        assert OrderKey(X).direction is SortDirection.ASC
+
+    def test_reversed_flips_direction(self):
+        assert asc(X).reversed() == desc(X)
+        assert desc(X).reversed() == asc(X)
+
+    def test_with_column_keeps_direction(self):
+        assert desc(X).with_column(Y) == desc(Y)
+
+    def test_str_marks_descending_only(self):
+        assert str(asc(X)) == "t.x"
+        assert str(desc(X)) == "t.x desc"
+
+
+class TestOrderSpec:
+    def test_of_builds_ascending(self):
+        spec = OrderSpec.of(X, Y)
+        assert spec.columns == (X, Y)
+        assert all(key.direction is SortDirection.ASC for key in spec)
+
+    def test_empty_spec(self):
+        spec = OrderSpec()
+        assert spec.is_empty()
+        assert not spec
+        assert len(spec) == 0
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(OrderError):
+            OrderSpec.of(X, X)
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(OrderError):
+            OrderSpec().head()
+
+    def test_prefix_relation(self):
+        shorter = OrderSpec.of(X)
+        longer = OrderSpec.of(X, Y)
+        assert shorter.is_prefix_of(longer)
+        assert not longer.is_prefix_of(shorter)
+        assert OrderSpec().is_prefix_of(shorter)
+
+    def test_prefix_requires_matching_directions(self):
+        assert not OrderSpec((desc(X),)).is_prefix_of(OrderSpec.of(X, Y))
+
+    def test_concat_skips_duplicates(self):
+        merged = OrderSpec.of(X, Y).concat(OrderSpec.of(Y, Z))
+        assert merged == OrderSpec.of(X, Y, Z)
+
+    def test_reversed_flips_every_key(self):
+        spec = OrderSpec((asc(X), desc(Y)))
+        assert spec.reversed() == OrderSpec((desc(X), asc(Y)))
+
+    def test_equality_and_hash(self):
+        assert OrderSpec.of(X, Y) == OrderSpec.of(X, Y)
+        assert hash(OrderSpec.of(X, Y)) == hash(OrderSpec.of(X, Y))
+        assert OrderSpec.of(X, Y) != OrderSpec.of(Y, X)
+
+    def test_subset_columns(self):
+        spec = OrderSpec.of(X, Y)
+        assert spec.subset_columns({X, Y, Z})
+        assert not spec.subset_columns({X})
+
+    def test_prefix_method(self):
+        assert OrderSpec.of(X, Y, Z).prefix(2) == OrderSpec.of(X, Y)
+
+    def test_indexing_and_iteration(self):
+        spec = OrderSpec.of(X, Y)
+        assert spec[0] == asc(X)
+        assert list(spec) == [asc(X), asc(Y)]
+
+    def test_str_rendering(self):
+        assert str(OrderSpec((asc(X), desc(Y)))) == "(t.x, t.y desc)"

@@ -1,0 +1,110 @@
+"""Reduce Order (Figure 2) — including every worked example in §4.1."""
+
+from repro.core import OrderContext, OrderSpec, reduce_order
+from repro.core.fd import fd, key_fd
+from repro.core.ordering import OrderKey, SortDirection, desc
+from repro.core.reduce import minimal_sort_columns
+from repro.expr import col
+from repro.expr.nodes import Comparison, ComparisonOp, Literal
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+AX, BX, BY = col("a", "x"), col("b", "x"), col("b", "y")
+
+
+def eq_const(column, value):
+    return Comparison(ComparisonOp.EQ, column, Literal(value))
+
+
+def eq_cols(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestPaperExamples:
+    def test_constant_binding_removes_column(self):
+        """§4.1: I = (x, y), predicate x = 10 ⇒ I reduces to (y)."""
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        assert reduce_order(OrderSpec.of(X, Y), context) == OrderSpec.of(Y)
+
+    def test_equivalence_class_rewrites_head(self):
+        """§4.1: I = (x, z), OP = (y, z), predicate x = y ⇒ equal after
+        rewriting to class heads."""
+        context = OrderContext.from_predicates([eq_cols(X, Y)])
+        reduced_interesting = reduce_order(OrderSpec.of(X, Z), context)
+        reduced_property = reduce_order(OrderSpec.of(Y, Z), context)
+        assert reduced_interesting == reduced_property
+
+    def test_key_makes_suffix_redundant(self):
+        """§4.1: I = (x, y), OP = (x, z), x a key ⇒ both reduce to (x)."""
+        context = OrderContext(fds=None).with_key([X])
+        assert reduce_order(OrderSpec.of(X, Y), context) == OrderSpec.of(X)
+        assert reduce_order(OrderSpec.of(X, Z), context) == OrderSpec.of(X)
+
+    def test_reduction_to_empty(self):
+        """§4.1: I = (x) with x = 10 applied reduces to the empty order."""
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        assert reduce_order(OrderSpec.of(X), context).is_empty()
+
+
+class TestReduceMechanics:
+    def test_no_context_is_identity(self):
+        spec = OrderSpec.of(X, Y, Z)
+        assert reduce_order(spec, OrderContext.empty()) == spec
+
+    def test_fd_removes_determined_column(self):
+        context = OrderContext(fds=None).with_fd(fd([X], [Y]))
+        assert reduce_order(OrderSpec.of(X, Y, Z), context) == OrderSpec.of(X, Z)
+
+    def test_fd_with_compound_head(self):
+        context = OrderContext(fds=None).with_fd(fd([X, Y], [Z]))
+        assert reduce_order(OrderSpec.of(X, Y, Z), context) == OrderSpec.of(X, Y)
+        # Not removable when only part of the head precedes it.
+        assert reduce_order(OrderSpec.of(X, Z), context) == OrderSpec.of(X, Z)
+
+    def test_transitive_fd_removal(self):
+        context = (
+            OrderContext(fds=None)
+            .with_fd(fd([X], [Y]))
+            .with_fd(fd([Y], [Z]))
+        )
+        assert reduce_order(OrderSpec.of(X, Z), context) == OrderSpec.of(X)
+
+    def test_direction_preserved_through_rewrite(self):
+        context = OrderContext.empty().with_equality(BX, AX)
+        reduced = reduce_order(OrderSpec((desc(BX),)), context)
+        assert reduced == OrderSpec((desc(AX),))
+
+    def test_duplicate_after_head_rewrite_collapses(self):
+        # x and y become the same class; (x, y) collapses to one column.
+        context = OrderContext.empty().with_equality(X, Y)
+        reduced = reduce_order(OrderSpec.of(X, Y), context)
+        assert len(reduced) == 1
+
+    def test_constant_via_equivalence(self):
+        # x = y and y = 5 makes x constant too.
+        context = (
+            OrderContext.from_predicates([eq_cols(X, Y), eq_const(Y, 5)])
+        )
+        assert reduce_order(OrderSpec.of(X, Z), context) == OrderSpec.of(Z)
+
+    def test_key_anywhere_truncates_rest(self):
+        context = OrderContext.empty().with_key([Y])
+        reduced = reduce_order(OrderSpec.of(X, Y, Z), context)
+        assert reduced == OrderSpec.of(X, Y)
+
+    def test_one_record_reduces_everything(self):
+        context = OrderContext.empty().with_key([])  # {} -> * (one record)
+        assert reduce_order(OrderSpec.of(X, Y, Z), context).is_empty()
+
+    def test_minimal_sort_columns_alias(self):
+        context = OrderContext.from_predicates([eq_const(X, 1)])
+        assert minimal_sort_columns(
+            OrderSpec.of(X, Y), context
+        ) == OrderSpec.of(Y)
+
+    def test_reduction_is_idempotent(self):
+        context = (
+            OrderContext.from_predicates([eq_cols(X, Y), eq_const(Z, 3)])
+            .with_fd(fd([X], [Z]))
+        )
+        once = reduce_order(OrderSpec.of(Z, Y, X), context)
+        assert reduce_order(once, context) == once

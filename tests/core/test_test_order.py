@@ -1,0 +1,77 @@
+"""Test Order (Figure 3) and the naive variant."""
+
+from repro.core import OrderContext, OrderSpec
+from repro.core import test_order as check_order
+from repro.core.ordering import desc
+from repro.core.test import test_order_naive as check_order_naive
+from repro.expr import col
+from repro.expr.nodes import Comparison, ComparisonOp, Literal
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+
+
+def eq_const(column, value):
+    return Comparison(ComparisonOp.EQ, column, Literal(value))
+
+
+class TestTestOrder:
+    def test_empty_interesting_order_always_satisfied(self):
+        assert check_order(OrderSpec(), OrderSpec(), OrderContext.empty())
+        assert check_order(OrderSpec(), OrderSpec.of(X), OrderContext.empty())
+
+    def test_exact_match(self):
+        assert check_order(
+            OrderSpec.of(X, Y), OrderSpec.of(X, Y), OrderContext.empty()
+        )
+
+    def test_prefix_satisfies(self):
+        assert check_order(
+            OrderSpec.of(X), OrderSpec.of(X, Y), OrderContext.empty()
+        )
+
+    def test_longer_than_property_fails(self):
+        assert not check_order(
+            OrderSpec.of(X, Y), OrderSpec.of(X), OrderContext.empty()
+        )
+
+    def test_direction_mismatch_fails(self):
+        assert not check_order(
+            OrderSpec((desc(X),)), OrderSpec.of(X), OrderContext.empty()
+        )
+
+    def test_paper_motivating_example(self):
+        """§4.1: I = (x, y), OP = (y), x = 10 applied ⇒ satisfied."""
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        assert check_order(OrderSpec.of(X, Y), OrderSpec.of(Y), context)
+        # And without the predicate it is not.
+        assert not check_order(
+            OrderSpec.of(X, Y), OrderSpec.of(Y), OrderContext.empty()
+        )
+
+    def test_equivalence_example(self):
+        """§4.1: I = (x, z), OP = (y, z), x = y ⇒ satisfied."""
+        context = OrderContext.empty().with_equality(X, Y)
+        assert check_order(OrderSpec.of(X, Z), OrderSpec.of(Y, Z), context)
+
+    def test_key_example(self):
+        """§4.1: I = (x, y), OP = (x, z), x key ⇒ satisfied."""
+        context = OrderContext.empty().with_key([X])
+        assert check_order(OrderSpec.of(X, Y), OrderSpec.of(X, Z), context)
+
+    def test_one_record_satisfies_anything(self):
+        context = OrderContext.empty().with_key([])
+        assert check_order(OrderSpec.of(X, Y, Z), OrderSpec(), context)
+
+
+class TestNaiveTestOrder:
+    def test_prefix_only(self):
+        assert check_order_naive(OrderSpec.of(X), OrderSpec.of(X, Y))
+        assert not check_order_naive(OrderSpec.of(Y), OrderSpec.of(X, Y))
+
+    def test_ignores_context_facts(self):
+        # The naive test cannot exploit x = 10; this asymmetry is the
+        # paper's production-vs-disabled experiment in miniature.
+        assert not check_order_naive(OrderSpec.of(X, Y), OrderSpec.of(Y))
+
+    def test_empty_interesting(self):
+        assert check_order_naive(OrderSpec(), OrderSpec())

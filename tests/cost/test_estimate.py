@@ -1,0 +1,111 @@
+"""Selectivity estimation."""
+
+import datetime
+
+from repro.catalog import Column, TableSchema
+from repro.cost import SelectivityEstimator, StatsView, join_selectivity
+from repro.catalog.stats import ColumnStats, TableStats
+from repro.expr import (
+    BooleanExpr,
+    BooleanOp,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Not,
+    col,
+    lit,
+)
+from repro.sqltypes import INTEGER
+
+
+def make_view():
+    table = TableSchema(
+        "t",
+        [Column("a", INTEGER), Column("b", INTEGER)],
+    )
+    table.stats = TableStats(
+        row_count=1000,
+        columns={
+            "a": ColumnStats(ndv=100, low=0, high=100),
+            "b": ColumnStats(ndv=10, low=0, high=10),
+        },
+        pages=20,
+    )
+    return StatsView({"t": table})
+
+
+A, B = col("t", "a"), col("t", "b")
+
+
+def EQ(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestSelectivity:
+    def setup_method(self):
+        self.estimator = SelectivityEstimator(make_view())
+
+    def test_none_is_one(self):
+        assert self.estimator.selectivity(None) == 1.0
+
+    def test_equality_uses_ndv(self):
+        assert abs(self.estimator.selectivity(EQ(A, lit(5))) - 0.01) < 1e-9
+        assert abs(self.estimator.selectivity(EQ(lit(5), B)) - 0.1) < 1e-9
+
+    def test_inequality_complements(self):
+        pred = Comparison(ComparisonOp.NE, A, lit(5))
+        assert abs(self.estimator.selectivity(pred) - 0.99) < 1e-9
+
+    def test_range_uses_min_max(self):
+        pred = Comparison(ComparisonOp.LT, A, lit(50))
+        assert abs(self.estimator.selectivity(pred) - 0.5) < 1e-9
+
+    def test_conjunction_multiplies(self):
+        pred = BooleanExpr(
+            BooleanOp.AND,
+            (EQ(A, lit(1)), EQ(B, lit(2))),
+        )
+        assert abs(self.estimator.selectivity(pred) - 0.001) < 1e-9
+
+    def test_disjunction_union_bound(self):
+        pred = BooleanExpr(BooleanOp.OR, (EQ(B, lit(1)), EQ(B, lit(2))))
+        expected = 1 - (0.9 * 0.9)
+        assert abs(self.estimator.selectivity(pred) - expected) < 1e-9
+
+    def test_not(self):
+        pred = Not(EQ(B, lit(1)))
+        assert abs(self.estimator.selectivity(pred) - 0.9) < 1e-9
+
+    def test_in_list_scales_with_members(self):
+        pred = InList(B, (lit(1), lit(2), lit(3)))
+        assert abs(self.estimator.selectivity(pred) - 0.3) < 1e-9
+
+    def test_is_null_default(self):
+        assert 0 < self.estimator.selectivity(IsNull(A)) < 1
+
+    def test_column_equality_join_selectivity(self):
+        pred = EQ(A, B)
+        assert abs(self.estimator.selectivity(pred) - 1 / 100) < 1e-9
+
+    def test_unknown_column_falls_back(self):
+        pred = EQ(col("t", "zz"), lit(1))
+        sel = self.estimator.selectivity(pred)
+        assert 0 < sel <= 1
+
+    def test_never_zero(self):
+        pred = BooleanExpr(
+            BooleanOp.AND,
+            tuple(EQ(A, lit(i)) for i in range(10)),
+        )
+        assert self.estimator.selectivity(pred) > 0
+
+
+class TestJoinSelectivity:
+    def test_uses_max_ndv(self):
+        left = ColumnStats(ndv=100)
+        right = ColumnStats(ndv=10)
+        assert abs(join_selectivity(left, right) - 0.01) < 1e-9
+
+    def test_missing_stats_default(self):
+        assert 0 < join_selectivity(None, None) <= 1

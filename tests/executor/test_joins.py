@@ -1,0 +1,190 @@
+"""Join operators, cross-validated against a brute-force join."""
+
+import random
+
+import pytest
+
+from repro import Column, Database, Index, TableSchema
+from repro.core import OrderSpec
+from repro.errors import ExecutionError
+from repro.executor import (
+    ExecutionContext,
+    HashJoinOp,
+    MergeJoinOp,
+    NestedLoopIndexJoinOp,
+    NestedLoopJoinOp,
+    SortOp,
+    TableScanOp,
+)
+from repro.expr import Comparison, ComparisonOp, RowSchema, col, lit
+from repro.sqltypes import INTEGER
+
+RA, RB = col("r", "a"), col("r", "b")
+SA, SB = col("s", "a"), col("s", "b")
+R_SCHEMA = RowSchema([RA, RB])
+S_SCHEMA = RowSchema([SA, SB])
+
+
+@pytest.fixture
+def db():
+    rng = random.Random(11)
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "r",
+            [Column("a", INTEGER), Column("b", INTEGER)],
+        ),
+        rows=[(rng.randint(0, 20), rng.randint(0, 5)) for _ in range(60)]
+        + [(None, 1)],
+    )
+    database.create_table(
+        TableSchema(
+            "s",
+            [Column("a", INTEGER), Column("b", INTEGER)],
+        ),
+        rows=[(rng.randint(0, 20), rng.randint(0, 5)) for _ in range(40)]
+        + [(None, 2)],
+    )
+    database.create_index(Index.on("s_a", "s", ["a"], clustered=True))
+    return database
+
+
+def expected_join(db):
+    r_rows = [row for _rid, row in db.store("r").heap.scan()]
+    s_rows = [row for _rid, row in db.store("s").heap.scan()]
+    return sorted(
+        left + right
+        for left in r_rows
+        for right in s_rows
+        if left[0] is not None and left[0] == right[0]
+    )
+
+
+def scan_r():
+    return TableScanOp("r", "r", R_SCHEMA)
+
+
+def scan_s():
+    return TableScanOp("s", "s", S_SCHEMA)
+
+
+def run(op, db):
+    return op.execute(ExecutionContext(db))
+
+
+JOIN_PRED = Comparison(ComparisonOp.EQ, RA, SA)
+
+
+class TestNestedLoopJoin:
+    def test_matches_brute_force(self, db):
+        rows = run(NestedLoopJoinOp(scan_r(), scan_s(), JOIN_PRED), db)
+        assert sorted(rows) == expected_join(db)
+
+    def test_cross_product_without_predicate(self, db):
+        rows = run(NestedLoopJoinOp(scan_r(), scan_s(), None), db)
+        assert len(rows) == 61 * 41
+
+
+class TestIndexNlj:
+    def make(self, db, ordered=False, residual=None):
+        return NestedLoopIndexJoinOp(
+            outer=scan_r(),
+            table_name="s",
+            index_name="s_a",
+            alias="s",
+            inner_schema=S_SCHEMA,
+            probe_columns=[RA],
+            residual=residual,
+            ordered=ordered,
+        )
+
+    def test_matches_brute_force(self, db):
+        rows = run(self.make(db), db)
+        assert sorted(rows) == expected_join(db)
+
+    def test_null_probe_skipped(self, db):
+        rows = run(self.make(db), db)
+        assert all(row[0] is not None for row in rows)
+
+    def test_residual_applied(self, db):
+        residual = Comparison(ComparisonOp.EQ, SB, lit(3))
+        rows = run(self.make(db, residual=residual), db)
+        assert all(row[3] == 3 for row in rows)
+        assert sorted(rows) == sorted(
+            row for row in expected_join(db) if row[3] == 3
+        )
+
+    def test_ordered_probes_mostly_sequential(self, db):
+        ordered_op = NestedLoopIndexJoinOp(
+            outer=SortOp(scan_r(), OrderSpec.of(RA)),
+            table_name="s",
+            index_name="s_a",
+            alias="s",
+            inner_schema=S_SCHEMA,
+            probe_columns=[RA],
+            ordered=True,
+        )
+        db.reset_io(cold=True)
+        run(ordered_op, db)
+        stats = db.buffer_pool.stats
+        assert stats.random_misses <= stats.sequential_misses + stats.hits
+
+
+class TestMergeJoin:
+    def sorted_inputs(self):
+        return (
+            SortOp(scan_r(), OrderSpec.of(RA)),
+            SortOp(scan_s(), OrderSpec.of(SA)),
+        )
+
+    def test_matches_brute_force(self, db):
+        outer, inner = self.sorted_inputs()
+        rows = run(MergeJoinOp(outer, inner, [RA], [SA]), db)
+        assert sorted(rows) == expected_join(db)
+
+    def test_duplicates_on_both_sides(self, db):
+        # Force heavy duplication.
+        database = Database()
+        database.create_table(
+            TableSchema("r", [Column("a", INTEGER), Column("b", INTEGER)]),
+            rows=[(1, i) for i in range(3)] + [(2, 9)],
+        )
+        database.create_table(
+            TableSchema("s", [Column("a", INTEGER), Column("b", INTEGER)]),
+            rows=[(1, i) for i in range(4)],
+        )
+        outer = SortOp(TableScanOp("r", "r", R_SCHEMA), OrderSpec.of(RA))
+        inner = SortOp(TableScanOp("s", "s", S_SCHEMA), OrderSpec.of(SA))
+        rows = run(MergeJoinOp(outer, inner, [RA], [SA]), database)
+        assert len(rows) == 12  # 3 x 4
+
+    def test_residual(self, db):
+        outer, inner = self.sorted_inputs()
+        residual = Comparison(ComparisonOp.EQ, RB, SB)
+        rows = run(MergeJoinOp(outer, inner, [RA], [SA], residual), db)
+        assert all(row[1] == row[3] for row in rows)
+
+    def test_key_arity_guard(self, db):
+        outer, inner = self.sorted_inputs()
+        with pytest.raises(ExecutionError):
+            MergeJoinOp(outer, inner, [RA], [])
+
+
+class TestHashJoin:
+    def test_matches_brute_force(self, db):
+        rows = run(HashJoinOp(scan_r(), scan_s(), [RA], [SA]), db)
+        assert sorted(rows) == expected_join(db)
+
+    def test_preserves_probe_order(self, db):
+        outer = SortOp(scan_r(), OrderSpec.of(RA))
+        rows = run(HashJoinOp(outer, scan_s(), [RA], [SA]), db)
+        values = [row[0] for row in rows]
+        assert values == sorted(values)
+
+    def test_nulls_never_match(self, db):
+        rows = run(HashJoinOp(scan_r(), scan_s(), [RA], [SA]), db)
+        assert all(row[0] is not None for row in rows)
+
+    def test_key_arity_guard(self, db):
+        with pytest.raises(ExecutionError):
+            HashJoinOp(scan_r(), scan_s(), [], [])

@@ -1,0 +1,157 @@
+"""Leaf/unary physical operators."""
+
+import pytest
+
+from repro import Column, Database, Index, TableSchema
+from repro.core import OrderSpec
+from repro.core.ordering import desc
+from repro.errors import ExecutionError
+from repro.executor import (
+    ExecutionContext,
+    FilterOp,
+    IndexScanOp,
+    ProjectOp,
+    SortOp,
+    TableScanOp,
+)
+from repro.executor.operators import MaterializeOp
+from repro.expr import Arithmetic, Comparison, ComparisonOp, RowSchema, col, lit
+from repro.expr.nodes import ArithmeticOp
+from repro.sqltypes import INTEGER
+
+TA, TB = col("t", "a"), col("t", "b")
+SCHEMA = RowSchema([TA, TB])
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("a", INTEGER, nullable=False), Column("b", INTEGER)],
+            primary_key=("a",),
+        ),
+        rows=[(i, (i * 7) % 10) for i in range(50)],
+    )
+    database.create_index(Index.on("t_b", "t", ["b"]))
+    return database
+
+
+def run(op, db):
+    return op.execute(ExecutionContext(db))
+
+
+class TestTableScan:
+    def test_scans_all_rows(self, db):
+        rows = run(TableScanOp("t", "t", SCHEMA), db)
+        assert len(rows) == 50
+
+    def test_charges_io(self, db):
+        db.reset_io(cold=True)
+        run(TableScanOp("t", "t", SCHEMA), db)
+        assert db.buffer_pool.stats.total_misses > 0
+
+
+class TestIndexScan:
+    def test_full_scan_ordered(self, db):
+        op = IndexScanOp("t", "t_b", "t", SCHEMA)
+        rows = run(op, db)
+        values = [row[1] for row in rows]
+        assert values == sorted(values)
+        assert len(rows) == 50
+
+    def test_bounded_scan(self, db):
+        op = IndexScanOp("t", "t_b", "t", SCHEMA, low=(3,), high=(5,))
+        rows = run(op, db)
+        assert rows and all(3 <= row[1] <= 5 for row in rows)
+
+    def test_exclusive_bounds(self, db):
+        op = IndexScanOp(
+            "t", "t_b", "t", SCHEMA,
+            low=(3,), high=(5,), low_inclusive=False, high_inclusive=False,
+        )
+        rows = run(op, db)
+        assert rows and all(row[1] == 4 for row in rows)
+
+    def test_descending(self, db):
+        op = IndexScanOp("t", "t_b", "t", SCHEMA, descending=True)
+        values = [row[1] for row in run(op, db)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestFilter:
+    def test_filters(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        predicate = Comparison(ComparisonOp.EQ, TB, lit(3))
+        rows = run(FilterOp(scan, predicate), db)
+        assert rows and all(row[1] == 3 for row in rows)
+
+
+class TestProject:
+    def test_column_projection(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        op = ProjectOp(scan, [TB], RowSchema([TB]))
+        rows = run(op, db)
+        assert all(len(row) == 1 for row in rows)
+
+    def test_computed_projection(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        double = Arithmetic(ArithmeticOp.MUL, TA, lit(2))
+        op = ProjectOp(scan, [double], RowSchema([col("", "d")]))
+        rows = run(op, db)
+        assert rows[5][0] == 10
+
+    def test_arity_mismatch(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        with pytest.raises(ExecutionError):
+            ProjectOp(scan, [TA, TB], RowSchema([TA]))
+
+
+class TestSort:
+    def test_ascending(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        rows = run(SortOp(scan, OrderSpec.of(TB)), db)
+        values = [row[1] for row in rows]
+        assert values == sorted(values)
+
+    def test_descending_and_secondary(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        rows = run(SortOp(scan, OrderSpec((desc(TB), desc(TA)))), db)
+        keys = [(row[1], row[0]) for row in rows]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_empty_order_rejected(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        with pytest.raises(ExecutionError):
+            SortOp(scan, OrderSpec())
+
+    def test_spill_accounting(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        context = ExecutionContext(db, sort_memory_rows=10)
+        list(SortOp(scan, OrderSpec.of(TB)).rows(context))
+        assert context.spill_pages > 0
+        assert context.rows_sorted == 50
+
+
+class TestMaterialize:
+    def test_repeated_iteration(self, db):
+        op = MaterializeOp(TableScanOp("t", "t", SCHEMA))
+        context = ExecutionContext(db)
+        first = list(op.rows(context))
+        db.reset_io()
+        second = list(op.rows(context))
+        assert first == second
+        # Second pass reads the buffer, not the heap.
+        assert db.buffer_pool.stats.total_accesses == 0
+
+
+class TestExplain:
+    def test_tree_rendering(self, db):
+        scan = TableScanOp("t", "t", SCHEMA)
+        op = SortOp(FilterOp(scan, Comparison(ComparisonOp.GT, TA, lit(0))),
+                    OrderSpec.of(TB))
+        text = op.explain()
+        assert "sort" in text
+        assert "filter" in text
+        assert "table scan" in text

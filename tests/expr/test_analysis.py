@@ -1,0 +1,101 @@
+"""Predicate analysis: the facts feeding the order algebra."""
+
+from repro.expr import (
+    BooleanExpr,
+    BooleanOp,
+    Comparison,
+    ComparisonOp,
+    analyze_predicates,
+    col,
+    columns_of,
+    conjuncts_of,
+    is_column_constant_equality,
+    is_column_equality,
+    lit,
+)
+from repro.expr.nodes import Arithmetic, ArithmeticOp, Not
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+
+
+def AND(*operands):
+    return BooleanExpr(BooleanOp.AND, tuple(operands))
+
+
+def OR(*operands):
+    return BooleanExpr(BooleanOp.OR, tuple(operands))
+
+
+def EQ(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert conjuncts_of(None) == []
+
+    def test_flat_and(self):
+        pred = AND(EQ(X, lit(1)), EQ(Y, lit(2)))
+        assert len(conjuncts_of(pred)) == 2
+
+    def test_nested_and_flattens(self):
+        pred = AND(EQ(X, lit(1)), AND(EQ(Y, lit(2)), EQ(Z, lit(3))))
+        assert len(conjuncts_of(pred)) == 3
+
+    def test_or_stays_whole(self):
+        pred = OR(EQ(X, lit(1)), EQ(Y, lit(2)))
+        assert conjuncts_of(pred) == [pred]
+
+
+class TestColumnsOf:
+    def test_simple(self):
+        assert columns_of(EQ(X, lit(1))) == frozenset((X,))
+
+    def test_nested(self):
+        expr = Arithmetic(ArithmeticOp.ADD, X, Arithmetic(ArithmeticOp.MUL, Y, Z))
+        assert columns_of(expr) == frozenset((X, Y, Z))
+
+
+class TestClassification:
+    def test_constant_equality_both_orders(self):
+        assert is_column_constant_equality(EQ(X, lit(10)))[0] == X
+        assert is_column_constant_equality(EQ(lit(10), X))[0] == X
+
+    def test_null_literal_binds_nothing(self):
+        # col = NULL never evaluates to true.
+        assert is_column_constant_equality(EQ(X, lit(None))) is None
+
+    def test_non_equality_not_constant_binding(self):
+        pred = Comparison(ComparisonOp.LT, X, lit(10))
+        assert is_column_constant_equality(pred) is None
+
+    def test_column_equality(self):
+        assert is_column_equality(EQ(X, Y)) == (X, Y)
+        assert is_column_equality(EQ(X, X)) is None  # trivial
+        assert is_column_equality(EQ(X, lit(1))) is None
+
+
+class TestAnalyzePredicates:
+    def test_mixed_facts(self):
+        facts = analyze_predicates(
+            [AND(EQ(X, lit(10)), EQ(Y, Z)), Comparison(ComparisonOp.GT, Y, lit(0))]
+        )
+        assert facts.constant_bindings == {X: lit(10)}
+        assert facts.equalities == [(Y, Z)]
+        assert len(facts.residual) == 1
+        assert len(facts.conjuncts) == 3
+
+    def test_or_contributes_no_facts(self):
+        # Facts inside a disjunct do not hold for all records.
+        facts = analyze_predicates([OR(EQ(X, lit(1)), EQ(X, Y))])
+        assert not facts.constant_bindings
+        assert not facts.equalities
+        assert len(facts.residual) == 1
+
+    def test_negated_equality_is_residual(self):
+        facts = analyze_predicates([Not(EQ(X, lit(1)))])
+        assert not facts.constant_bindings
+
+    def test_first_constant_binding_wins(self):
+        facts = analyze_predicates([EQ(X, lit(1)), EQ(X, lit(2))])
+        assert facts.constant_bindings[X] == lit(1)

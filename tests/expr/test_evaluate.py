@@ -1,0 +1,168 @@
+"""Expression evaluation under three-valued logic."""
+
+import decimal
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import (
+    Aggregate,
+    AggregateKind,
+    Arithmetic,
+    ArithmeticOp,
+    BooleanExpr,
+    BooleanOp,
+    CaseWhen,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Not,
+    RowSchema,
+    col,
+    evaluate,
+    evaluate_predicate,
+    lit,
+)
+
+X, Y = col("t", "x"), col("t", "y")
+SCHEMA = RowSchema([X, Y])
+
+
+def ev(expression, row):
+    return evaluate(expression, SCHEMA, row)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert ev(lit(5), (0, 0)) == 5
+        assert ev(lit(None), (0, 0)) is None
+
+    def test_column(self):
+        assert ev(X, (7, 8)) == 7
+        assert ev(Y, (7, 8)) == 8
+
+    def test_comparison(self):
+        pred = Comparison(ComparisonOp.LT, X, Y)
+        assert ev(pred, (1, 2)) is True
+        assert ev(pred, (2, 1)) is False
+        assert ev(pred, (None, 1)) is None
+
+    def test_all_comparison_ops(self):
+        cases = {
+            ComparisonOp.EQ: (True, False, False),
+            ComparisonOp.NE: (False, True, True),
+            ComparisonOp.LT: (False, True, False),
+            ComparisonOp.LE: (True, True, False),
+            ComparisonOp.GT: (False, False, True),
+            ComparisonOp.GE: (True, False, True),
+        }
+        for op, (eq, lt, gt) in cases.items():
+            pred = Comparison(op, X, Y)
+            assert ev(pred, (1, 1)) is eq
+            assert ev(pred, (0, 1)) is lt
+            assert ev(pred, (1, 0)) is gt
+
+
+class TestThreeValuedLogic:
+    def test_and_kleene(self):
+        def conj(a, b):
+            return ev(
+                BooleanExpr(BooleanOp.AND, (lit(a), lit(b))), (0, 0)
+            )
+
+        assert conj(True, True) is True
+        assert conj(True, False) is False
+        assert conj(False, None) is False  # False dominates unknown
+        assert conj(True, None) is None
+
+    def test_or_kleene(self):
+        def disj(a, b):
+            return ev(BooleanExpr(BooleanOp.OR, (lit(a), lit(b))), (0, 0))
+
+        assert disj(False, False) is False
+        assert disj(False, True) is True
+        assert disj(True, None) is True  # True dominates unknown
+        assert disj(False, None) is None
+
+    def test_not(self):
+        assert ev(Not(lit(True)), (0, 0)) is False
+        assert ev(Not(lit(None)), (0, 0)) is None
+
+    def test_predicate_filter_semantics(self):
+        # Unknown counts as False for filtering.
+        pred = Comparison(ComparisonOp.EQ, X, lit(1))
+        assert evaluate_predicate(pred, SCHEMA, (None, 0)) is False
+        assert evaluate_predicate(pred, SCHEMA, (1, 0)) is True
+
+
+class TestSpecialPredicates:
+    def test_is_null(self):
+        assert ev(IsNull(X), (None, 0)) is True
+        assert ev(IsNull(X), (1, 0)) is False
+        assert ev(IsNull(X, negated=True), (1, 0)) is True
+
+    def test_in_list(self):
+        pred = InList(X, (lit(1), lit(2)))
+        assert ev(pred, (1, 0)) is True
+        assert ev(pred, (3, 0)) is False
+        assert ev(pred, (None, 0)) is None
+
+    def test_in_list_with_null_member(self):
+        pred = InList(X, (lit(1), lit(None)))
+        assert ev(pred, (1, 0)) is True
+        assert ev(pred, (3, 0)) is None  # unknown, not false
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert ev(Arithmetic(ArithmeticOp.ADD, X, Y), (2, 3)) == 5
+        assert ev(Arithmetic(ArithmeticOp.SUB, X, Y), (2, 3)) == -1
+        assert ev(Arithmetic(ArithmeticOp.MUL, X, Y), (2, 3)) == 6
+        assert ev(Arithmetic(ArithmeticOp.DIV, X, Y), (6, 3)) == 2
+
+    def test_null_propagates(self):
+        assert ev(Arithmetic(ArithmeticOp.ADD, X, lit(None)), (2, 3)) is None
+
+    def test_decimal_float_mix(self):
+        result = ev(
+            Arithmetic(ArithmeticOp.MUL, lit(decimal.Decimal("2.5")), lit(0.5)),
+            (0, 0),
+        )
+        assert result == decimal.Decimal("1.25")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            ev(Arithmetic(ArithmeticOp.DIV, X, Y), (1, 0))
+
+    def test_paper_revenue_expression(self):
+        # l_extendedprice * (1 - l_discount)
+        expr = Arithmetic(
+            ArithmeticOp.MUL,
+            X,
+            Arithmetic(ArithmeticOp.SUB, lit(1), Y),
+        )
+        price, discount = decimal.Decimal("100.00"), decimal.Decimal("0.10")
+        assert ev(expr, (price, discount)) == decimal.Decimal("90.00")
+
+
+class TestCaseWhen:
+    def test_branches(self):
+        expr = CaseWhen(Comparison(ComparisonOp.GT, X, Y), lit("a"), lit("b"))
+        assert ev(expr, (2, 1)) == "a"
+        assert ev(expr, (1, 2)) == "b"
+
+    def test_unknown_condition_takes_else(self):
+        expr = CaseWhen(Comparison(ComparisonOp.GT, X, Y), lit("a"), lit("b"))
+        assert ev(expr, (None, 1)) == "b"
+
+
+class TestAggregateGuard:
+    def test_aggregate_cannot_evaluate_per_record(self):
+        agg = Aggregate(AggregateKind.SUM, X)
+        with pytest.raises(ExpressionError):
+            ev(agg, (1, 2))
+
+    def test_non_count_requires_argument(self):
+        with pytest.raises(ExpressionError):
+            Aggregate(AggregateKind.SUM, None)

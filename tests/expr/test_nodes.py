@@ -1,0 +1,81 @@
+"""Expression node basics: construction, operators, rendering."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import (
+    Aggregate,
+    AggregateKind,
+    BooleanExpr,
+    BooleanOp,
+    Comparison,
+    ComparisonOp,
+    col,
+    lit,
+)
+from repro.expr.nodes import Parameter
+
+
+class TestComparisonOp:
+    def test_flipped(self):
+        assert ComparisonOp.LT.flipped() is ComparisonOp.GT
+        assert ComparisonOp.LE.flipped() is ComparisonOp.GE
+        assert ComparisonOp.EQ.flipped() is ComparisonOp.EQ
+        assert ComparisonOp.NE.flipped() is ComparisonOp.NE
+
+    def test_negated(self):
+        assert ComparisonOp.LT.negated() is ComparisonOp.GE
+        assert ComparisonOp.EQ.negated() is ComparisonOp.NE
+        assert ComparisonOp.GE.negated() is ComparisonOp.LT
+
+    def test_flip_negate_roundtrip(self):
+        for op in ComparisonOp:
+            assert op.flipped().flipped() is op
+            assert op.negated().negated() is op
+
+
+class TestNodeBasics:
+    def test_column_ref_identity(self):
+        assert col("a", "x") == col("a", "x")
+        assert col("a", "x") != col("b", "x")
+        assert hash(col("a", "x")) == hash(col("a", "x"))
+
+    def test_literal_rendering(self):
+        assert str(lit(None)) == "NULL"
+        assert str(lit("o'brien")) == "'o''brien'"
+        assert str(lit(5)) == "5"
+
+    def test_parameter_rendering(self):
+        assert str(Parameter("seg")) == ":seg"
+
+    def test_boolean_needs_two_operands(self):
+        with pytest.raises(ExpressionError):
+            BooleanExpr(BooleanOp.AND, (lit(True),))
+
+    def test_children_walk(self):
+        pred = Comparison(ComparisonOp.EQ, col("a", "x"), lit(1))
+        assert pred.children() == (col("a", "x"), lit(1))
+
+    def test_comparison_rendering(self):
+        pred = Comparison(ComparisonOp.LE, col("a", "x"), lit(3))
+        assert str(pred) == "a.x <= 3"
+
+
+class TestAggregateNodes:
+    def test_count_star(self):
+        agg = Aggregate(AggregateKind.COUNT, None)
+        assert str(agg) == "COUNT(*)"
+        assert agg.children() == ()
+
+    def test_distinct_rendering(self):
+        agg = Aggregate(AggregateKind.SUM, col("a", "x"), distinct=True)
+        assert str(agg) == "SUM(DISTINCT a.x)"
+
+    def test_alias_excluded_from_equality(self):
+        one = Aggregate(AggregateKind.SUM, col("a", "x"), alias="s1")
+        two = Aggregate(AggregateKind.SUM, col("a", "x"), alias="s2")
+        assert one == two
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(ExpressionError):
+            Aggregate(AggregateKind.AVG, None)

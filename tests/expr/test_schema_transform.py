@@ -1,0 +1,99 @@
+"""RowSchema and expression transformation."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import Comparison, ComparisonOp, RowSchema, col, lit
+from repro.expr.nodes import Arithmetic, ArithmeticOp, BooleanExpr, BooleanOp
+from repro.expr.transform import substitute_columns, transform
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+VX = col("v", "x")
+
+
+class TestRowSchema:
+    def test_positions(self):
+        schema = RowSchema([X, Y])
+        assert schema.position(X) == 0
+        assert schema.position(Y) == 1
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError):
+            RowSchema([X]).position(Y)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ExpressionError):
+            RowSchema([X, X])
+
+    def test_contains_len_iter(self):
+        schema = RowSchema([X, Y])
+        assert X in schema and Z not in schema
+        assert len(schema) == 2
+        assert list(schema) == [X, Y]
+
+    def test_concat(self):
+        joined = RowSchema([X]).concat(RowSchema([Y, Z]))
+        assert joined.columns == (X, Y, Z)
+
+    def test_project_reorders(self):
+        schema = RowSchema([X, Y, Z]).project([Z, X])
+        assert schema.columns == (Z, X)
+
+    def test_project_missing_raises(self):
+        with pytest.raises(ExpressionError):
+            RowSchema([X]).project([Y])
+
+    def test_projector(self):
+        project = RowSchema([X, Y, Z]).projector([Z, X])
+        assert project((1, 2, 3)) == (3, 1)
+
+    def test_equality_and_hash(self):
+        assert RowSchema([X, Y]) == RowSchema([X, Y])
+        assert hash(RowSchema([X])) == hash(RowSchema([X]))
+        assert RowSchema([X, Y]) != RowSchema([Y, X])
+
+
+class TestSubstituteColumns:
+    def test_simple_substitution(self):
+        pred = Comparison(ComparisonOp.EQ, VX, lit(1))
+        replaced = substitute_columns(pred, {VX: X})
+        assert replaced == Comparison(ComparisonOp.EQ, X, lit(1))
+
+    def test_substitution_with_expression(self):
+        total = Arithmetic(ArithmeticOp.ADD, X, Y)
+        pred = Comparison(ComparisonOp.GT, VX, lit(0))
+        replaced = substitute_columns(pred, {VX: total})
+        assert replaced == Comparison(ComparisonOp.GT, total, lit(0))
+
+    def test_unmapped_columns_untouched(self):
+        pred = Comparison(ComparisonOp.EQ, X, Y)
+        assert substitute_columns(pred, {VX: Z}) == pred
+
+    def test_deep_nesting(self):
+        pred = BooleanExpr(
+            BooleanOp.AND,
+            (
+                Comparison(ComparisonOp.EQ, VX, lit(1)),
+                Comparison(ComparisonOp.LT, Y, VX),
+            ),
+        )
+        replaced = substitute_columns(pred, {VX: Z})
+        assert "v.x" not in str(replaced)
+        assert "t.z" in str(replaced)
+
+
+class TestTransform:
+    def test_identity_visit(self):
+        pred = Comparison(ComparisonOp.EQ, X, lit(1))
+        assert transform(pred, lambda node: None) == pred
+
+    def test_bottom_up_rewrite(self):
+        # Replace every literal 1 with literal 2.
+        pred = Comparison(ComparisonOp.EQ, X, lit(1))
+
+        def visit(node):
+            if node == lit(1):
+                return lit(2)
+            return None
+
+        assert transform(pred, visit) == Comparison(ComparisonOp.EQ, X, lit(2))

@@ -1,0 +1,195 @@
+"""Edge cases and failure injection across the whole stack."""
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    Index,
+    OptimizerConfig,
+    TableSchema,
+    run_query,
+)
+from repro.errors import CatalogError, ParseError
+from repro.sqltypes import INTEGER, varchar
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("k", INTEGER, nullable=False),
+                Column("v", INTEGER),
+                Column("s", varchar(8)),
+            ],
+            primary_key=("k",),
+        ),
+        rows=[
+            (0, None, "a"),
+            (1, 5, None),
+            (2, None, "b"),
+            (3, 5, "a"),
+            (4, 7, None),
+        ],
+    )
+    database.create_index(Index.on("t_k", "t", ["k"], unique=True, clustered=True))
+    database.create_table(
+        TableSchema(
+            "empty",
+            [Column("k", INTEGER, nullable=False), Column("v", INTEGER)],
+            primary_key=("k",),
+        ),
+        rows=[],
+    )
+    return database
+
+
+class TestEmptyTables:
+    def test_scan_empty(self, db):
+        assert run_query(db, "select k from empty").rows == []
+
+    def test_join_with_empty(self, db):
+        result = run_query(
+            db, "select t.k from t, empty where t.k = empty.k"
+        )
+        assert result.rows == []
+
+    def test_left_join_empty_inner_pads_all(self, db):
+        result = run_query(
+            db,
+            "select t.k, empty.v from t left join empty on t.k = empty.k "
+            "order by t.k",
+        )
+        assert len(result.rows) == 5
+        assert all(row[1] is None for row in result.rows)
+
+    def test_scalar_aggregates_on_empty(self, db):
+        result = run_query(
+            db,
+            "select count(*) as n, sum(v) as total, max(v) as top from empty",
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_group_by_on_empty_yields_nothing(self, db):
+        result = run_query(
+            db, "select v, count(*) as n from empty group by v"
+        )
+        assert result.rows == []
+
+    def test_order_by_on_empty(self, db):
+        assert run_query(db, "select k from empty order by k").rows == []
+
+
+class TestNulls:
+    def test_nulls_sort_high_ascending(self, db):
+        result = run_query(db, "select k, v from t order by v, k")
+        values = [row[1] for row in result.rows]
+        non_null = [value for value in values if value is not None]
+        assert values == non_null + [None] * (len(values) - len(non_null))
+
+    def test_nulls_first_descending(self, db):
+        result = run_query(db, "select k, v from t order by v desc, k")
+        assert result.rows[0][1] is None
+
+    def test_null_group_forms_single_group(self, db):
+        result = run_query(
+            db, "select v, count(*) as n from t group by v order by v"
+        )
+        by_value = {row[0]: row[1] for row in result.rows}
+        assert by_value[None] == 2
+
+    def test_equality_never_matches_null(self, db):
+        result = run_query(db, "select k from t where v = v")
+        # v = v is unknown for NULL v: rows 0 and 2 drop.
+        assert sorted(row[0] for row in result.rows) == [1, 3, 4]
+
+    def test_is_null_filter(self, db):
+        result = run_query(db, "select k from t where s is null order by k")
+        assert [row[0] for row in result.rows] == [1, 4]
+
+
+class TestDegenerateQueries:
+    def test_duplicate_output_column(self, db):
+        result = run_query(db, "select k, k from t order by k")
+        # Engine deduplicates internally but must still return rows.
+        assert len(result.rows) == 5
+
+    def test_single_row_table(self, db):
+        db.create_table(
+            TableSchema(
+                "one",
+                [Column("k", INTEGER, nullable=False)],
+                primary_key=("k",),
+            ),
+            rows=[(42,)],
+        )
+        result = run_query(
+            db, "select t.k, one.k from t, one where t.k < one.k order by t.k"
+        )
+        assert len(result.rows) == 5
+
+    def test_predicate_eliminating_everything(self, db):
+        result = run_query(db, "select k from t where k = 999")
+        assert result.rows == []
+
+    def test_constant_only_predicate(self, db):
+        result = run_query(db, "select k from t where 1 = 1 order by k")
+        assert len(result.rows) == 5
+        result = run_query(db, "select k from t where 1 = 2")
+        assert result.rows == []
+
+    def test_self_join(self, db):
+        result = run_query(
+            db,
+            "select t1.k, t2.k from t t1, t t2 where t1.k = t2.k "
+            "order by t1.k",
+        )
+        assert len(result.rows) == 5
+        assert all(row[0] == row[1] for row in result.rows)
+
+    def test_order_by_every_column(self, db):
+        result = run_query(db, "select k, v, s from t order by s, v, k")
+        assert len(result.rows) == 5
+
+
+class TestErrorPaths:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            run_query(db, "select x from nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ParseError):
+            run_query(db, "select nope from t")
+
+    def test_syntax_error_position(self, db):
+        with pytest.raises(ParseError) as info:
+            run_query(db, "select k from t where")
+        assert info.value.line >= 1
+
+    def test_aggregate_without_group_by_mixed_column(self, db):
+        # Mixing a bare column with an aggregate and no GROUP BY is a
+        # semantic error we surface during planning/parsing.
+        with pytest.raises(Exception):
+            run_query(db, "select k, count(*) from t")
+
+
+class TestExplainStatement:
+    def test_explain_returns_plan_rows(self, db):
+        result = run_query(db, "explain select k from t order by k")
+        assert result.column_names == ("plan",)
+        text = "\n".join(row[0] for row in result.rows)
+        assert "index scan" in text or "table scan" in text
+        assert "rows=" in text and "cost=" in text
+
+    def test_explain_does_not_execute(self, db):
+        db.reset_io(cold=True)
+        run_query(db, "explain select k, v, s from t")
+        # Planning touches the catalog, never the heap pages.
+        assert db.buffer_pool.stats.total_misses == 0
+
+    def test_explain_case_insensitive(self, db):
+        result = run_query(db, "EXPLAIN select k from t")
+        assert result.rows

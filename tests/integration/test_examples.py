@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *argv: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Redundancy elimination" in out
+    assert "identical answers: True" in out
+
+
+def test_order_algebra_tour():
+    out = run_example("order_algebra_tour.py")
+    assert "admits 16 orders" in out
+    assert "(t.y)" in out  # the reduced §4.1 example
+
+
+def test_tpcd_query3_tiny():
+    out = run_example("tpcd_query3.py", "0.002")
+    assert "wall-clock ratio" in out
+    assert "ordered nested-loop join" in out
+
+
+def test_warehouse_reporting():
+    out = run_example("warehouse_reporting.py")
+    assert "Constant-bound leading sort column" in out
+
+
+def test_dashboard_queries():
+    out = run_example("dashboard_queries.py")
+    assert "top 5 accounts" in out
+    assert "padded NULL" in out

@@ -1,0 +1,135 @@
+"""Host variables (§4.1 "host variable ... qualifies as a constant") and
+FETCH FIRST n ROWS ONLY with the Top-N rewrite."""
+
+import random
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    Index,
+    OptimizerConfig,
+    TableSchema,
+    execute,
+    run_query,
+)
+from repro.errors import ExpressionError
+from repro.optimizer.plan import OpKind
+from repro.sqltypes import INTEGER
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(77)
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("k", INTEGER, nullable=False),
+                Column("seg", INTEGER),
+                Column("v", INTEGER),
+            ],
+            primary_key=("k",),
+        ),
+        rows=[(i, rng.randint(0, 4), rng.randint(0, 999)) for i in range(4000)],
+    )
+    database.create_index(Index.on("t_k", "t", ["k"], unique=True, clustered=True))
+    return database
+
+
+class TestHostVariables:
+    SQL = "select k, seg from t where seg = :s order by seg, k"
+
+    def test_parameter_treated_as_constant_for_ordering(self, db):
+        """ORDER BY (seg, k) with seg = :s reduces to (k): index order
+        suffices, no sort — planned before :s has a value."""
+        result = run_query(db, self.SQL, parameters={"s": 2})
+        assert result.plan.sort_count() == 0
+        assert all(row[1] == 2 for row in result.rows)
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys)
+
+    def test_plan_reusable_across_bindings(self, db):
+        plan = run_query(db, self.SQL, parameters={"s": 0}).plan
+        for value in range(5):
+            result = execute(db, plan, parameters={"s": value})
+            assert all(row[1] == value for row in result.rows)
+
+    def test_disabled_build_sorts_for_parameter_query(self, db):
+        result = run_query(
+            db,
+            self.SQL,
+            config=OptimizerConfig.disabled(),
+            parameters={"s": 2},
+        )
+        assert result.plan.sort_count() == 1
+
+    def test_missing_binding_raises(self, db):
+        plan = run_query(db, self.SQL, parameters={"s": 1}).plan
+        with pytest.raises(ExpressionError):
+            execute(db, plan, parameters={})
+
+    def test_unbound_execution_raises(self, db):
+        plan = run_query(db, self.SQL, parameters={"s": 1}).plan
+        with pytest.raises(ExpressionError):
+            execute(db, plan)  # parameters=None: nothing substituted
+
+    def test_parameter_in_projection(self, db):
+        result = run_query(
+            db,
+            "select k, v + :delta as shifted from t where k < 3 order by k",
+            parameters={"delta": 1000},
+        )
+        raw = run_query(db, "select k, v from t where k < 3 order by k")
+        assert [row[1] - 1000 for row in result.rows] == [
+            row[1] for row in raw.rows
+        ]
+
+
+class TestFetchFirst:
+    def test_limit_without_order(self, db):
+        result = run_query(db, "select k from t fetch first 10 rows only")
+        assert len(result.rows) == 10
+
+    def test_limit_with_satisfied_order_needs_no_topn(self, db):
+        result = run_query(
+            db, "select k, v from t order by k fetch first 5 rows only"
+        )
+        assert len(result.rows) == 5
+        assert [row[0] for row in result.rows] == [0, 1, 2, 3, 4]
+        assert not result.plan.find_all(OpKind.TOPN)
+        assert not result.plan.find_all(OpKind.SORT)
+
+    def test_topn_replaces_full_sort(self, db):
+        result = run_query(
+            db, "select k, v from t order by v desc fetch first 5 rows only"
+        )
+        assert result.plan.find_all(OpKind.TOPN)
+        assert not result.plan.find_all(OpKind.SORT)
+        values = [row[1] for row in result.rows]
+        assert len(values) == 5
+        assert values == sorted(values, reverse=True)
+
+    def test_topn_matches_full_sort_results(self, db):
+        limited = run_query(
+            db, "select k, v from t order by v desc, k fetch first 20 rows only"
+        )
+        full = run_query(db, "select k, v from t order by v desc, k")
+        assert limited.rows == full.rows[:20]
+
+    def test_limit_after_group_by(self, db):
+        result = run_query(
+            db,
+            "select seg, count(*) as n from t group by seg "
+            "order by n desc fetch first 2 rows only",
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0][1] >= result.rows[1][1]
+
+    def test_limit_larger_than_result(self, db):
+        result = run_query(
+            db, "select k from t where k < 3 fetch first 100 rows only"
+        )
+        assert len(result.rows) == 3

@@ -1,0 +1,147 @@
+"""UNION and UNION ALL planning and execution."""
+
+import random
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    Index,
+    OptimizerConfig,
+    TableSchema,
+    run_query,
+)
+from repro.errors import ParseError, QgmError
+from repro.optimizer.plan import OpKind
+from repro.parser import parse_query
+from repro.sqltypes import INTEGER
+from repro.sqltypes.values import sort_key
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(61)
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "a",
+            [Column("x", INTEGER, nullable=False), Column("y", INTEGER)],
+            primary_key=("x",),
+        ),
+        rows=[(i, rng.randint(0, 9)) for i in range(30)],
+    )
+    database.create_table(
+        TableSchema(
+            "b",
+            [Column("x", INTEGER, nullable=False), Column("z", INTEGER)],
+        ),
+        rows=[(rng.randint(0, 40), rng.randint(0, 5)) for _ in range(50)],
+    )
+    database.create_index(Index.on("a_x", "a", ["x"], unique=True, clustered=True))
+    return database
+
+
+def rows_of(db, table):
+    return [row for _rid, row in db.store(table).heap.scan()]
+
+
+class TestUnionAll:
+    def test_concatenates(self, db):
+        result = run_query(
+            db, "select x from a union all select x from b"
+        )
+        assert len(result.rows) == 80
+        assert result.plan.find_all(OpKind.CONCAT)
+        assert not result.plan.find_all(OpKind.DISTINCT_HASH)
+        assert not result.plan.find_all(OpKind.DISTINCT_SORTED)
+
+    def test_order_by_applies_to_whole_union(self, db):
+        result = run_query(
+            db,
+            "select x, y from a union all select x, z from b order by x",
+        )
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_three_branches(self, db):
+        result = run_query(
+            db,
+            "select x from a union all select x from b "
+            "union all select x from a",
+        )
+        assert len(result.rows) == 110
+
+
+class TestUnionDistinct:
+    def test_deduplicates(self, db):
+        result = run_query(db, "select x from a union select x from b")
+        expected = {
+            (row[0],) for row in rows_of(db, "a")
+        } | {(row[0],) for row in rows_of(db, "b")}
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_dedup_across_branches_with_same_values(self, db):
+        result = run_query(db, "select y from a union select y from a")
+        singles = {(row[1],) for row in rows_of(db, "a")}
+        assert sorted(result.rows) == sorted(singles)
+
+    def test_order_by_desc(self, db):
+        result = run_query(
+            db, "select x from a union select x from b order by x desc"
+        )
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values, reverse=True)
+        assert len(values) == len(set(values))
+
+    def test_positional_order_by_and_fetch(self, db):
+        result = run_query(
+            db,
+            "select x, y from a union select x, z from b "
+            "order by 2, 1 fetch first 5 rows only",
+        )
+        assert len(result.rows) == 5
+        keys = [(sort_key(row[1]), sort_key(row[0])) for row in result.rows]
+        assert keys == sorted(keys)
+
+    def test_sorted_dedup_available_without_hash(self, db):
+        config = OptimizerConfig(
+            enable_hash_join=False, enable_hash_group_by=False
+        )
+        result = run_query(
+            db,
+            "select x from a union select x from b order by x",
+            config=config,
+        )
+        assert result.plan.find_all(OpKind.DISTINCT_SORTED)
+        # One sort covers both the dedupe and the ORDER BY.
+        assert result.plan.sort_count() == 1
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+
+
+class TestUnionErrors:
+    def test_arity_mismatch(self, db):
+        with pytest.raises(QgmError):
+            run_query(db, "select x, y from a union select x from b")
+
+    def test_order_by_in_non_final_branch(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select x from a order by x union select x from b",
+                db.catalog,
+            )
+
+    def test_mixed_union_kinds_rejected(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select x from a union select x from b "
+                "union all select x from a",
+                db.catalog,
+            )
+
+    def test_output_names_from_first_branch(self, db):
+        result = run_query(
+            db, "select x as key, y as val from a union select x, z from b"
+        )
+        assert result.column_names == ("key", "val")

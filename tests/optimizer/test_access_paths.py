@@ -1,0 +1,170 @@
+"""Single-table access-path generation and sargable analysis."""
+
+import pytest
+
+from repro import Column, Database, Index, OptimizerConfig, TableSchema
+from repro.catalog import IndexColumn
+from repro.core.ordering import SortDirection
+from repro.cost.model import CostModel
+from repro.expr import Comparison, ComparisonOp, col, lit
+from repro.optimizer.plan import OpKind
+from repro.optimizer.planner import (
+    PlannerContext,
+    access_paths,
+    extract_sargable,
+)
+from repro.qgm.block import QueryBlock
+from repro.qgm.boxes import SelectItem
+from repro.sqltypes import INTEGER
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("a", INTEGER, nullable=False),
+                Column("b", INTEGER),
+                Column("c", INTEGER),
+            ],
+            primary_key=("a",),
+        ),
+        rows=[(i, i % 10, i % 3) for i in range(500)],
+    )
+    database.create_index(Index.on("t_a", "t", ["a"], unique=True, clustered=True))
+    database.create_index(Index.on("t_bc", "t", ["b", "c"]))
+    return database
+
+
+def planner_for(db, predicate=None, order_by=None):
+    from repro.core.ordering import OrderSpec
+
+    block = QueryBlock(
+        tables={"t": "t"},
+        predicate=predicate,
+        select_items=[
+            SelectItem(col("t", "a"), "a"),
+            SelectItem(col("t", "b"), "b"),
+            SelectItem(col("t", "c"), "c"),
+        ],
+        order_by=order_by or OrderSpec(),
+    )
+    return PlannerContext.build(db, OptimizerConfig(), block, CostModel())
+
+
+def EQ(column, value):
+    return Comparison(ComparisonOp.EQ, column, lit(value))
+
+
+def LT(column, value):
+    return Comparison(ComparisonOp.LT, column, lit(value))
+
+
+def GE(column, value):
+    return Comparison(ComparisonOp.GE, column, lit(value))
+
+
+class TestExtractSargable:
+    def index(self, db, name):
+        return db.catalog.index(name)
+
+    def test_equality_on_leading_column(self, db):
+        bounds = extract_sargable(
+            self.index(db, "t_bc"), "t", [EQ(col("t", "b"), 5)]
+        )
+        assert bounds.low == (5,) and bounds.high == (5,)
+        assert len(bounds.covered) == 1
+
+    def test_equality_prefix_plus_range(self, db):
+        bounds = extract_sargable(
+            self.index(db, "t_bc"),
+            "t",
+            [EQ(col("t", "b"), 5), LT(col("t", "c"), 2)],
+        )
+        assert bounds.low == (5,)
+        assert bounds.high == (5, 2)
+        assert not bounds.high_inclusive
+
+    def test_range_both_sides(self, db):
+        bounds = extract_sargable(
+            self.index(db, "t_a"),
+            "t",
+            [GE(col("t", "a"), 10), LT(col("t", "a"), 20)],
+        )
+        assert bounds.low == (10,) and bounds.low_inclusive
+        assert bounds.high == (20,) and not bounds.high_inclusive
+
+    def test_gap_in_prefix_stops(self, db):
+        # Predicate on c only: not sargable for (b, c) index.
+        bounds = extract_sargable(
+            self.index(db, "t_bc"), "t", [EQ(col("t", "c"), 1)]
+        )
+        assert not bounds.is_bounded()
+        assert bounds.covered == []
+
+
+class TestAccessPaths:
+    def test_generates_scan_and_indexes(self, db):
+        plans = access_paths(planner_for(db), "t")
+        kinds = {plan.kind for plan in plans}
+        assert OpKind.TABLE_SCAN in kinds or OpKind.FILTER in kinds
+        index_plans = [
+            plan
+            for plan in plans
+            if plan.find_all(OpKind.INDEX_SCAN)
+        ]
+        assert len(index_plans) >= 2
+
+    def test_index_scan_carries_order_property(self, db):
+        plans = access_paths(planner_for(db), "t")
+        ordered = [plan for plan in plans if not plan.order.is_empty()]
+        assert ordered
+        heads = {plan.order.head().column for plan in ordered}
+        assert col("t", "a") in heads
+
+    def test_filter_applied_to_scan(self, db):
+        planner = planner_for(db, predicate=EQ(col("t", "b"), 5))
+        plans = access_paths(planner, "t")
+        # Every plan must apply the predicate somewhere (filter node or
+        # covered index bounds).
+        for plan in plans:
+            filters = plan.find_all(OpKind.FILTER)
+            scans = plan.find_all(OpKind.INDEX_SCAN)
+            covered = any(
+                scan.args.get("low") is not None for scan in scans
+            )
+            assert filters or covered
+
+    def test_filtered_cardinality(self, db):
+        planner = planner_for(db, predicate=EQ(col("t", "b"), 5))
+        plans = access_paths(planner, "t")
+        for plan in plans:
+            assert plan.properties.cardinality == pytest.approx(50.0)
+
+    def test_eq_bound_key_flags_one_record(self, db):
+        planner = planner_for(db, predicate=EQ(col("t", "a"), 7))
+        plans = access_paths(planner, "t")
+        assert any(plan.properties.key_property.one_record for plan in plans)
+
+    def test_descending_variant_only_when_useful(self, db):
+        from repro.core.ordering import OrderSpec, desc as desc_key
+
+        planner = planner_for(db)
+        planner.interesting_orders = []
+        without = access_paths(planner, "t")
+        planner.interesting_orders = [
+            OrderSpec((desc_key(col("t", "a")),))
+        ]
+        with_desc = access_paths(planner, "t")
+        desc_scans = [
+            plan
+            for plan in with_desc
+            if any(
+                scan.args.get("descending")
+                for scan in plan.find_all(OpKind.INDEX_SCAN)
+            )
+        ]
+        assert desc_scans
+        assert len(with_desc) > len(without)

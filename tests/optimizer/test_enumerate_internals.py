@@ -1,0 +1,188 @@
+"""Join-enumeration internals: pruning, equi-pair handling, helpers."""
+
+import pytest
+
+from repro import Column, Database, Index, OptimizerConfig, TableSchema
+from repro.core import OrderContext, OrderSpec
+from repro.core.general import GeneralOrderSpec
+from repro.core.ordering import desc
+from repro.cost.model import Cost, CostModel
+from repro.expr import Comparison, ComparisonOp, RowSchema, col, lit
+from repro.optimizer.enumerate import (
+    _dedupe_pairs,
+    _equi_pairs,
+    _prune,
+    enumerate_joins,
+)
+from repro.optimizer.helpers import (
+    general_satisfies,
+    general_sort_target,
+    order_satisfies,
+    sort_columns_for,
+)
+from repro.optimizer.plan import OpKind, PlanNode
+from repro.optimizer.planner import PlannerContext
+from repro.properties.stream import StreamProperties
+from repro.qgm.block import QueryBlock
+from repro.qgm.boxes import SelectItem
+from repro.sqltypes import INTEGER
+
+AX, AY, BX, BY = col("a", "x"), col("a", "y"), col("b", "x"), col("b", "y")
+
+
+def EQ(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestEquiPairs:
+    def test_orientation(self):
+        pairs = _equi_pairs(
+            [EQ(BX, AX)], frozenset([AX, AY]), frozenset([BX, BY])
+        )
+        assert pairs == [(AX, BX, EQ(BX, AX))]
+
+    def test_non_equi_ignored(self):
+        pred = Comparison(ComparisonOp.LT, AX, BX)
+        assert _equi_pairs([pred], frozenset([AX]), frozenset([BX])) == []
+
+    def test_same_side_equality_ignored(self):
+        assert (
+            _equi_pairs([EQ(AX, AY)], frozenset([AX, AY]), frozenset([BX]))
+            == []
+        )
+
+    def test_dedupe_keeps_first_per_column(self):
+        pairs = [
+            (AX, BX, EQ(AX, BX)),
+            (AY, BX, EQ(AY, BX)),  # same inner column
+            (AX, BY, EQ(AX, BY)),  # same outer column
+        ]
+        unique = _dedupe_pairs(pairs)
+        assert unique == [pairs[0]]
+
+
+def _fake_plan(cost_ms, order=OrderSpec()):
+    properties = StreamProperties(
+        schema=RowSchema([AX, AY]), order=order, cardinality=10.0
+    )
+    return PlanNode(
+        OpKind.TABLE_SCAN,
+        (),
+        properties,
+        Cost(cpu_ms=cost_ms),
+        {"table": "a", "alias": "a"},
+    )
+
+
+def _planner(db=None):
+    database = db or Database()
+    if not database.catalog.has_table("a"):
+        database.create_table(
+            TableSchema(
+                "a",
+                [Column("x", INTEGER, nullable=False), Column("y", INTEGER)],
+                primary_key=("x",),
+            ),
+            rows=[(i, i % 3) for i in range(10)],
+        )
+    block = QueryBlock(
+        tables={"a": "a"},
+        predicate=None,
+        select_items=[SelectItem(AX, "x")],
+    )
+    return PlannerContext.build(database, OptimizerConfig(), block)
+
+
+class TestPrune:
+    def test_cheaper_unordered_dominates_unordered(self):
+        planner = _planner()
+        cheap = _fake_plan(1.0)
+        pricey = _fake_plan(5.0)
+        survivors = _prune(planner, [pricey, cheap])
+        assert survivors == [cheap]
+
+    def test_ordered_plan_survives_cheaper_unordered(self):
+        planner = _planner()
+        cheap = _fake_plan(1.0)
+        ordered = _fake_plan(5.0, OrderSpec.of(AX))
+        survivors = _prune(planner, [ordered, cheap])
+        assert set(map(id, survivors)) == {id(cheap), id(ordered)}
+
+    def test_ordered_dominates_weaker_order(self):
+        planner = _planner()
+        strong = _fake_plan(1.0, OrderSpec.of(AX, AY))
+        weak = _fake_plan(2.0, OrderSpec.of(AX))
+        survivors = _prune(planner, [weak, strong])
+        assert survivors == [strong]
+
+    def test_result_sorted_by_cost(self):
+        planner = _planner()
+        plans = [
+            _fake_plan(3.0, OrderSpec.of(AY)),
+            _fake_plan(1.0),
+            _fake_plan(2.0, OrderSpec.of(AX)),
+        ]
+        survivors = _prune(planner, plans)
+        costs = [plan.cost.total_ms for plan in survivors]
+        assert costs == sorted(costs)
+
+
+class TestCartesianFallback:
+    def test_disconnected_tables_still_plan(self):
+        database = Database()
+        for name in ("p", "q"):
+            database.create_table(
+                TableSchema(
+                    name,
+                    [Column("v", INTEGER, nullable=False)],
+                    primary_key=("v",),
+                ),
+                rows=[(i,) for i in range(5)],
+            )
+        block = QueryBlock(
+            tables={"p": "p", "q": "q"},
+            predicate=None,
+            select_items=[
+                SelectItem(col("p", "v"), "pv"),
+                SelectItem(col("q", "v"), "qv"),
+            ],
+        )
+        planner = PlannerContext.build(database, OptimizerConfig(), block)
+        plans = enumerate_joins(planner)
+        assert plans
+        assert plans[0].properties.cardinality == 25.0
+
+
+class TestHelpers:
+    def test_order_satisfies_gated_by_master_switch(self):
+        context = OrderContext.empty().with_constant(AX)
+        interesting = OrderSpec.of(AX, AY)
+        order_property = OrderSpec.of(AY)
+        assert order_satisfies(
+            OptimizerConfig(), interesting, order_property, context
+        )
+        assert not order_satisfies(
+            OptimizerConfig.disabled(), interesting, order_property, context
+        )
+
+    def test_sort_columns_reduced_only_when_enabled(self):
+        context = OrderContext.empty().with_constant(AX)
+        interesting = OrderSpec.of(AX, AY)
+        assert sort_columns_for(
+            OptimizerConfig(), interesting, context
+        ) == OrderSpec.of(AY)
+        assert sort_columns_for(
+            OptimizerConfig.disabled(), interesting, context
+        ) == interesting
+
+    def test_general_satisfies_rigid_fallback(self):
+        general = GeneralOrderSpec.from_group_by([AY, AX])
+        context = OrderContext.empty()
+        permuted = OrderSpec.of(AY, AX)
+        assert general_satisfies(OptimizerConfig(), general, permuted, context)
+        # Rigid mode demands the lexicographic rendering of the free
+        # segment, so the permuted property may fail.
+        rigid_target = general_sort_target(
+            OptimizerConfig.disabled(), general, context
+        )
+        assert rigid_target == OrderSpec.of(AX, AY)

@@ -1,0 +1,71 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parser import Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [token.text for token in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+
+    def test_identifiers_keep_case(self):
+        assert texts("SELECT MyCol FROM T") == ["select", "MyCol", "from", "T"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_qualified_name_not_number(self):
+        # t.5 would be nonsense; a.x must lex as ident, dot, ident.
+        tokens = tokenize("a.x")
+        assert [t.text for t in tokens[:-1]] == ["a", ".", "x"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape_doubled_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert texts("a <> b <= c >= d != e") == [
+            "a", "<>", "b", "<=", "c", ">=", "d", "!=", "e",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select x -- comment\nfrom t")
+        assert len(tokens) == 5  # select x from t EOF
+
+    def test_positions(self):
+        tokens = tokenize("select\n  x")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("select #")
+        assert info.value.column == 8
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_punctuation(self):
+        assert texts("(a, b)") == ["(", "a", ",", "b", ")"]

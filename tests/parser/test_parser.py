@@ -1,0 +1,316 @@
+"""SQL parser: grammar coverage and name resolution."""
+
+import datetime
+
+import pytest
+
+from repro import Column, Database, TableSchema
+from repro.core.ordering import SortDirection
+from repro.errors import ParseError
+from repro.expr import col
+from repro.expr.nodes import Aggregate, AggregateKind, BooleanExpr, Comparison
+from repro.parser import parse_query
+from repro.qgm import GroupByBox, SelectBox, normalize, rewrite
+from repro.sqltypes import DATE, INTEGER, varchar
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "emp",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("dept", INTEGER),
+                Column("salary", INTEGER),
+                Column("hired", DATE),
+            ],
+            primary_key=("id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "dept",
+            [Column("id", INTEGER, nullable=False), Column("name", varchar(20))],
+            primary_key=("id",),
+        )
+    )
+    return database
+
+
+def block_of(db, sql):
+    return normalize(rewrite(parse_query(sql, db.catalog)))
+
+
+class TestBasicSelect:
+    def test_select_columns(self, db):
+        block = block_of(db, "select id, salary from emp")
+        assert [item.name for item in block.select_items] == ["id", "salary"]
+        assert block.tables == {"emp": "emp"}
+
+    def test_select_star(self, db):
+        block = block_of(db, "select * from emp")
+        assert len(block.select_items) == 4
+
+    def test_alias_resolution(self, db):
+        block = block_of(db, "select e.id from emp e")
+        assert block.select_items[0].output == col("e", "id")
+
+    def test_as_alias(self, db):
+        block = block_of(db, "select id as employee from emp")
+        assert block.select_items[0].name == "employee"
+
+    def test_unqualified_ambiguity(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select id from emp, dept", db.catalog)
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select wages from emp", db.catalog)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            parse_query("select x from missing", db.catalog)
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select z.id from emp", db.catalog)
+
+    def test_trailing_garbage(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select id from emp garbage extra", db.catalog)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self, db):
+        block = block_of(db, "select salary + 2 * 3 as v from emp")
+        # Must parse as salary + (2 * 3).
+        expr = block.select_items[0].expression
+        assert "(2 * 3)" in str(expr)
+
+    def test_parentheses(self, db):
+        block = block_of(db, "select (salary + 2) * 3 as v from emp")
+        assert str(block.select_items[0].expression).startswith("((")
+
+    def test_between_desugars(self, db):
+        block = block_of(
+            db, "select id from emp where salary between 10 and 20"
+        )
+        assert isinstance(block.predicate, BooleanExpr)
+
+    def test_in_list(self, db):
+        block = block_of(db, "select id from emp where dept in (1, 2, 3)")
+        assert "IN" in str(block.predicate)
+
+    def test_is_null(self, db):
+        block = block_of(db, "select id from emp where hired is null")
+        assert "IS NULL" in str(block.predicate)
+
+    def test_is_not_null(self, db):
+        block = block_of(db, "select id from emp where hired is not null")
+        assert "IS NOT NULL" in str(block.predicate)
+
+    def test_date_literal(self, db):
+        block = block_of(
+            db, "select id from emp where hired > date('1995-03-15')"
+        )
+        assert "1995-03-15" in str(block.predicate)
+
+    def test_bad_date(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select id from emp where hired > date('95/03/15')",
+                db.catalog,
+            )
+
+    def test_unary_minus(self, db):
+        block = block_of(db, "select id from emp where salary > -5")
+        assert "(0 - 5)" in str(block.predicate)
+
+    def test_case_when(self, db):
+        block = block_of(
+            db,
+            "select case when salary > 10 then 1 else 0 end as flag from emp",
+        )
+        assert "CASE WHEN" in str(block.select_items[0].expression)
+
+    def test_not(self, db):
+        block = block_of(db, "select id from emp where not dept = 3")
+        assert "NOT" in str(block.predicate)
+
+
+class TestGroupingAndAggregates:
+    def test_group_by_with_sum(self, db):
+        block = block_of(
+            db,
+            "select dept, sum(salary) as total from emp group by dept",
+        )
+        assert block.group_columns == [col("emp", "dept")]
+        assert block.aggregates[0][0] == "total"
+        assert block.aggregates[0][1].kind is AggregateKind.SUM
+
+    def test_count_star(self, db):
+        block = block_of(
+            db, "select dept, count(*) as n from emp group by dept"
+        )
+        assert block.aggregates[0][1].argument is None
+
+    def test_distinct_aggregate(self, db):
+        block = block_of(
+            db,
+            "select dept, count(distinct salary) as n from emp group by dept",
+        )
+        assert block.aggregates[0][1].distinct
+
+    def test_aggregate_inside_expression(self, db):
+        block = block_of(
+            db,
+            "select dept, sum(salary) / count(*) as avg_pay "
+            "from emp group by dept",
+        )
+        assert len(block.aggregates) == 2
+
+    def test_having_with_aggregate(self, db):
+        block = block_of(
+            db,
+            "select dept, sum(salary) as total from emp "
+            "group by dept having sum(salary) > 100",
+        )
+        assert block.having is not None
+        # The HAVING aggregate reuses the select-list aggregate output.
+        assert len(block.aggregates) == 1
+
+    def test_group_by_non_column_rejected(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select dept from emp group by dept + 1", db.catalog
+            )
+
+
+class TestOrderBy:
+    def test_directions(self, db):
+        block = block_of(db, "select id, salary from emp order by salary desc, id")
+        assert block.order_by[0].direction is SortDirection.DESC
+        assert block.order_by[1].direction is SortDirection.ASC
+
+    def test_positional(self, db):
+        block = block_of(db, "select id, salary from emp order by 2")
+        assert block.order_by[0].column == col("emp", "salary")
+
+    def test_positional_out_of_range(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select id from emp order by 3", db.catalog)
+
+    def test_alias_reference(self, db):
+        block = block_of(
+            db,
+            "select dept, sum(salary) as total from emp "
+            "group by dept order by total desc",
+        )
+        assert block.order_by[0].column == col("", "total")
+
+    def test_order_by_unselected_column(self, db):
+        block = block_of(db, "select id from emp order by salary")
+        assert block.order_by[0].column == col("emp", "salary")
+
+
+class TestSubqueriesAndDistinct:
+    def test_distinct_flag(self, db):
+        block = block_of(db, "select distinct dept from emp")
+        assert block.distinct
+
+    def test_from_subquery_merges(self, db):
+        block = block_of(
+            db,
+            "select v.d from (select dept as d from emp where salary > 5) v "
+            "where v.d < 9",
+        )
+        assert block.tables == {"emp": "emp"}
+        assert "salary" in str(block.predicate)
+        assert "dept" in str(block.predicate)
+
+    def test_subquery_requires_alias(self, db):
+        with pytest.raises(ParseError):
+            parse_query("select d from (select dept as d from emp)", db.catalog)
+
+    def test_inner_join_folds_on_into_where(self, db):
+        block = block_of(
+            db,
+            "select e.id from emp e join dept d on e.dept = d.id "
+            "where e.salary > 10",
+        )
+        assert not block.outer_joins
+        assert "e.dept = d.id" in str(block.predicate)
+        assert "e.salary > 10" in str(block.predicate)
+
+    def test_left_outer_join_recorded(self, db):
+        block = block_of(
+            db,
+            "select e.id, d.name from emp e "
+            "left outer join dept d on e.dept = d.id",
+        )
+        assert set(block.outer_joins) == {"d"}
+        assert "e.dept = d.id" in str(block.outer_joins["d"])
+        # ON predicate must NOT leak into the WHERE.
+        assert block.predicate is None
+
+    def test_left_join_requires_on(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select e.id from emp e left join dept d", db.catalog
+            )
+
+    def test_fetch_first(self, db):
+        block = block_of(
+            db, "select id from emp order by id fetch first 10 rows only"
+        )
+        assert block.fetch_first == 10
+
+    def test_fetch_first_requires_positive_integer(self, db):
+        with pytest.raises(ParseError):
+            parse_query(
+                "select id from emp fetch first 0 rows only", db.catalog
+            )
+        with pytest.raises(ParseError):
+            parse_query(
+                "select id from emp fetch first 2.5 rows only", db.catalog
+            )
+
+    def test_host_variable(self, db):
+        from repro.expr.nodes import Parameter
+
+        block = block_of(db, "select id from emp where dept = :d")
+        assert ":d" in str(block.predicate)
+
+
+class TestQgmShapes:
+    def test_plain_select_box(self, db):
+        box = parse_query("select id from emp", db.catalog)
+        assert isinstance(box, SelectBox)
+        assert not box.is_join()
+
+    def test_join_box(self, db):
+        box = parse_query(
+            "select e.id from emp e, dept d where e.dept = d.id",
+            db.catalog,
+        )
+        assert isinstance(box, SelectBox)
+        assert box.is_join()
+
+    def test_group_pipeline_shape(self, db):
+        box = parse_query(
+            "select dept, sum(salary) as total from emp group by dept",
+            db.catalog,
+        )
+        assert isinstance(box, SelectBox)
+        inner = box.quantifiers()[0].box
+        assert isinstance(inner, GroupByBox)
+
+    def test_group_quantifier_input_order(self, db):
+        box = parse_query(
+            "select dept, sum(salary) as total from emp group by dept",
+            db.catalog,
+        )
+        group_box = box.quantifiers()[0].box
+        assert group_box.quantifier.input_order is not None

@@ -1,0 +1,194 @@
+"""Property propagation through operators (§5.2.1)."""
+
+from repro.catalog import Column, TableSchema
+from repro.core import OrderSpec
+from repro.core.ordering import desc
+from repro.expr import Comparison, ComparisonOp, RowSchema, col, lit
+from repro.properties import (
+    propagate_filter,
+    propagate_group_by,
+    propagate_join,
+    propagate_project,
+    propagate_sort,
+)
+from repro.properties.propagate import base_table_properties, propagate_distinct
+from repro.sqltypes import INTEGER
+
+AX, AY = col("a", "x"), col("a", "y")
+BX, BY = col("b", "x"), col("b", "y")
+AGG = col("", "total")
+
+
+def table(name, columns=("x", "y"), primary_key=("x",)):
+    return TableSchema(
+        name,
+        [Column(c, INTEGER, nullable=False) for c in columns],
+        primary_key=primary_key,
+    )
+
+
+def base(alias="a", primary_key=("x",), cardinality=100.0):
+    schema = table(alias, primary_key=primary_key)
+    props = base_table_properties(alias, schema, cardinality)
+    return props
+
+
+def EQ(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestBaseProperties:
+    def test_schema_and_keys(self):
+        props = base()
+        assert props.schema.columns == (AX, AY)
+        assert frozenset((AX,)) in props.key_property.keys
+
+    def test_no_order_initially(self):
+        assert base().order.is_empty()
+
+
+class TestFilter:
+    def test_constant_fact_harvested(self):
+        props = propagate_filter(base(), EQ(AY, lit(5)), 10.0)
+        assert AY in props.constants
+        assert props.cardinality == 10.0
+
+    def test_equality_fact_harvested(self):
+        props = propagate_filter(base(), EQ(AX, AY), 10.0)
+        assert props.equivalences.are_equivalent(AX, AY)
+
+    def test_order_preserved(self):
+        sorted_props = propagate_sort(base(), OrderSpec.of(AX))
+        filtered = propagate_filter(sorted_props, EQ(AY, lit(1)), 5.0)
+        assert filtered.order == OrderSpec.of(AX)
+
+    def test_key_bound_by_constant_gives_one_record(self):
+        props = propagate_filter(base(), EQ(AX, lit(5)), 1.0)
+        assert props.key_property.one_record
+
+
+class TestSort:
+    def test_replaces_order_only(self):
+        props = propagate_sort(base(), OrderSpec((desc(AY),)))
+        assert props.order == OrderSpec((desc(AY),))
+        assert props.key_property.keys  # untouched
+
+
+class TestProject:
+    def test_order_truncated_at_dropped_column(self):
+        props = propagate_sort(base(), OrderSpec.of(AY, AX))
+        projected = propagate_project(props, [AY])
+        assert projected.order == OrderSpec.of(AY)
+
+    def test_keys_dropped_when_column_lost(self):
+        projected = propagate_project(base(), [AY])
+        assert not projected.key_property.keys
+
+    def test_constants_restricted(self):
+        props = propagate_filter(base(), EQ(AY, lit(5)), 10.0)
+        projected = propagate_project(props, [AX])
+        assert AY not in projected.constants
+
+
+class TestJoin:
+    def test_n_to_1_propagates_outer_keys(self):
+        """§5.2.1: inner key fully qualified by join predicates ⇒ outer
+        key property propagates."""
+        outer = base("b", primary_key=())  # no keys
+        outer = outer.with_cardinality(500)
+        inner = base("a")  # key a.x
+        joined = propagate_join(
+            outer, inner, [EQ(BX, AX)], 500.0, preserves_outer_order=True
+        )
+        # Outer has no keys; inner key is demoted to an FD over a's cols.
+        assert not joined.key_property.one_record
+        assert joined.fds.determines([AX], AY)
+
+    def test_one_to_one_union(self):
+        outer, inner = base("a"), base("b")
+        joined = propagate_join(
+            outer, inner, [EQ(AX, BX)], 100.0, preserves_outer_order=True
+        )
+        keys = set(joined.key_property.keys)
+        # Both keys propagate (1:1 join); heads rewritten to a.x.
+        assert frozenset((AX,)) in keys
+
+    def test_m_to_n_concatenates_keys(self):
+        outer = base("a", primary_key=("x", "y"))
+        inner = base("b", primary_key=("x", "y"))
+        joined = propagate_join(
+            outer, inner, [EQ(AY, BY)], 1000.0, preserves_outer_order=True
+        )
+        # Neither side's key is bound ⇒ concatenated pairs.
+        assert any(len(key) >= 2 for key in joined.key_property.keys)
+
+    def test_order_preservation_flag(self):
+        outer = propagate_sort(base("a"), OrderSpec.of(AX))
+        inner = base("b")
+        kept = propagate_join(outer, inner, [EQ(AX, BX)], 10.0, True)
+        dropped = propagate_join(outer, inner, [EQ(AX, BX)], 10.0, False)
+        assert kept.order == OrderSpec.of(AX)
+        assert dropped.order.is_empty()
+
+    def test_join_equalities_enter_equivalences(self):
+        joined = propagate_join(
+            base("a"), base("b"), [EQ(AX, BX)], 10.0, True
+        )
+        assert joined.equivalences.are_equivalent(AX, BX)
+
+    def test_fd_from_demoted_key_supports_q3_reduction(self):
+        """The Q3 pattern: orders' key {o_orderkey} demoted in the m:1
+        join still determines o_orderdate — the FD Figure 7 depends on."""
+        orders = base_table_properties(
+            "o", table("o", ("orderkey", "orderdate"), ("orderkey",))
+        )
+        lineitem = base_table_properties(
+            "l", table("l", ("orderkey", "line"), ("orderkey", "line"))
+        )
+        joined = propagate_join(
+            lineitem,
+            orders,
+            [EQ(col("l", "orderkey"), col("o", "orderkey"))],
+            1000.0,
+            True,
+        )
+        context = joined.context()
+        assert context.fds.determines(
+            [col("o", "orderkey")], col("o", "orderdate")
+        )
+        assert context.equivalences.are_equivalent(
+            col("l", "orderkey"), col("o", "orderkey")
+        )
+
+
+class TestGroupBy:
+    def test_group_columns_key_output(self):
+        props = base().with_cardinality(100)
+        out_schema = RowSchema([AY, AGG])
+        grouped = propagate_group_by(props, [AY], out_schema, [AGG], 10.0)
+        assert frozenset((AY,)) in grouped.key_property.keys
+
+    def test_group_fd_to_aggregates(self):
+        props = base()
+        out_schema = RowSchema([AY, AGG])
+        grouped = propagate_group_by(props, [AY], out_schema, [AGG], 10.0)
+        assert grouped.fds.determines([AY], AGG)
+
+    def test_scalar_aggregate_one_record(self):
+        props = base()
+        out_schema = RowSchema([AGG])
+        grouped = propagate_group_by(props, [], out_schema, [AGG], 1.0)
+        assert grouped.key_property.one_record
+
+    def test_sorted_input_order_survives(self):
+        props = propagate_sort(base(), OrderSpec.of(AY))
+        out_schema = RowSchema([AY, AGG])
+        grouped = propagate_group_by(props, [AY], out_schema, [AGG], 10.0)
+        assert grouped.order == OrderSpec.of(AY)
+
+
+class TestDistinct:
+    def test_all_columns_become_key(self):
+        props = base("a", primary_key=()).with_cardinality(50)
+        distinct = propagate_distinct(props, 25.0)
+        assert frozenset((AX, AY)) in distinct.key_property.keys

@@ -1,0 +1,88 @@
+"""rename_properties: exposing a derived table's facts under new names."""
+
+from repro.core import OrderSpec
+from repro.core.fd import fd
+from repro.core.equivalence import EquivalenceClasses
+from repro.expr import RowSchema, col
+from repro.properties.propagate import rename_properties
+from repro.properties.stream import KeyProperty, StreamProperties
+
+AY, AN = col("a", "y"), col("", "n")
+VY, VN = col("v", "y"), col("v", "n")
+MAPPING = {AY: VY, AN: VN}
+
+
+def make_props(**overrides):
+    base = dict(
+        schema=RowSchema([AY, AN]),
+        order=OrderSpec.of(AY),
+        key_property=KeyProperty([[AY]]),
+        fds=None,
+        cardinality=10.0,
+    )
+    base.update(overrides)
+    from repro.core.fd import FDSet
+
+    if base["fds"] is None:
+        base["fds"] = FDSet([fd([AY], [AN])])
+    return StreamProperties(**base)
+
+
+class TestRenameProperties:
+    def test_schema_renamed(self):
+        renamed = rename_properties(make_props(), MAPPING)
+        assert renamed.schema.columns == (VY, VN)
+
+    def test_order_renamed(self):
+        renamed = rename_properties(make_props(), MAPPING)
+        assert renamed.order == OrderSpec.of(VY)
+
+    def test_keys_renamed(self):
+        renamed = rename_properties(make_props(), MAPPING)
+        assert frozenset((VY,)) in renamed.key_property.keys
+
+    def test_fds_renamed_and_usable(self):
+        renamed = rename_properties(make_props(), MAPPING)
+        assert renamed.fds.determines([VY], VN)
+
+    def test_one_record_survives(self):
+        props = make_props(key_property=KeyProperty.one_record_condition())
+        renamed = rename_properties(props, MAPPING)
+        assert renamed.key_property.one_record
+
+    def test_constants_renamed(self):
+        props = make_props(constants=frozenset((AY,)))
+        renamed = rename_properties(props, MAPPING)
+        assert VY in renamed.constants
+
+    def test_equivalences_renamed(self):
+        eq = EquivalenceClasses([(AY, AN)])
+        props = make_props(equivalences=eq)
+        renamed = rename_properties(props, MAPPING)
+        assert renamed.equivalences.are_equivalent(VY, VN)
+
+    def test_unmapped_order_suffix_dropped(self):
+        props = make_props(order=OrderSpec.of(AY, AN))
+        partial = {AY: VY}  # n not exposed
+        renamed = rename_properties(
+            StreamProperties(
+                schema=RowSchema([AY]),
+                order=props.order,
+                cardinality=5.0,
+            ),
+            partial,
+        )
+        assert renamed.order == OrderSpec.of(VY)
+
+    def test_predicates_never_leak(self):
+        from repro.expr import Comparison, ComparisonOp, lit
+
+        props = make_props(
+            predicates=frozenset([Comparison(ComparisonOp.EQ, AY, lit(1))])
+        )
+        renamed = rename_properties(props, MAPPING)
+        assert renamed.predicates == frozenset()
+
+    def test_cardinality_preserved(self):
+        renamed = rename_properties(make_props(cardinality=42.0), MAPPING)
+        assert renamed.cardinality == 42.0

@@ -1,0 +1,92 @@
+"""KeyProperty and StreamProperties."""
+
+from repro.core import OrderContext, OrderSpec
+from repro.expr import RowSchema, col
+from repro.properties import KeyProperty, StreamProperties
+
+AX, AY, BX, BY = col("a", "x"), col("a", "y"), col("b", "x"), col("b", "y")
+
+
+class TestKeyProperty:
+    def test_normalization_dedupes(self):
+        kp = KeyProperty([[AX], [AX], [AX, AY]])
+        assert len(kp.keys) == 2
+
+    def test_one_record_condition(self):
+        kp = KeyProperty.one_record_condition()
+        assert kp.one_record
+        assert kp.keys == ()
+
+    def test_simplified_substitutes_heads(self):
+        context = OrderContext.empty().with_equality(AX, BX)
+        kp = KeyProperty([[BX]]).simplified(context)
+        assert kp.keys == (frozenset((AX,)),)
+
+    def test_simplified_drops_constant_columns(self):
+        context = OrderContext.empty().with_constant(AY)
+        kp = KeyProperty([[AX, AY]]).simplified(context)
+        assert kp.keys == (frozenset((AX,)),)
+
+    def test_fully_constant_key_means_one_record(self):
+        """§5.2.1: a key fully qualified by equality predicates flags the
+        one-record condition."""
+        context = OrderContext.empty().with_constant(AX)
+        kp = KeyProperty([[AX]]).simplified(context)
+        assert kp.one_record
+
+    def test_superset_keys_pruned(self):
+        kp = KeyProperty([[AX], [AX, AY]]).simplified(OrderContext.empty())
+        assert kp.keys == (frozenset((AX,)),)
+
+    def test_concatenated_with(self):
+        left = KeyProperty([[AX]])
+        right = KeyProperty([[BX], [BY]])
+        combined = left.concatenated_with(right)
+        assert frozenset((AX, BX)) in combined.keys
+        assert frozenset((AX, BY)) in combined.keys
+
+    def test_concatenated_with_one_record_side(self):
+        left = KeyProperty([[AX]])
+        right = KeyProperty.one_record_condition()
+        assert left.concatenated_with(right) == left
+
+    def test_union_with_one_record(self):
+        assert KeyProperty([[AX]]).union(
+            KeyProperty.one_record_condition()
+        ).one_record
+
+    def test_projected_drops_broken_keys(self):
+        kp = KeyProperty([[AX], [AX, BY]]).projected({AX, AY})
+        assert kp.keys == (frozenset((AX,)),)
+
+    def test_equality_order_insensitive(self):
+        assert KeyProperty([[AX], [BY]]) == KeyProperty([[BY], [AX]])
+
+
+class TestStreamProperties:
+    def test_context_includes_keys_as_key_fds(self):
+        props = StreamProperties(
+            schema=RowSchema([AX, AY]),
+            key_property=KeyProperty([[AX]]),
+        )
+        context = props.context()
+        # Any column is determined once the key is present.
+        assert context.fds.determines([AX], AY)
+
+    def test_context_one_record_determines_everything(self):
+        props = StreamProperties(
+            schema=RowSchema([AX]),
+            key_property=KeyProperty.one_record_condition(),
+        )
+        closure = props.context().fds.closure([])
+        assert closure.determines_everything
+
+    def test_with_order(self):
+        props = StreamProperties(schema=RowSchema([AX]))
+        updated = props.with_order(OrderSpec.of(AX))
+        assert updated.order == OrderSpec.of(AX)
+        assert props.order.is_empty()  # original untouched
+
+    def test_with_cardinality_clamps(self):
+        props = StreamProperties(schema=RowSchema([AX]))
+        assert props.with_cardinality(-5).cardinality == 0.0

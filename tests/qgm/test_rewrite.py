@@ -1,0 +1,152 @@
+"""QGM rewrites: view merging and predicate pushdown."""
+
+import pytest
+
+from repro import Column, Database, TableSchema
+from repro.errors import QgmError
+from repro.expr import col
+from repro.parser import parse_query
+from repro.qgm import (
+    BaseTableQuantifier,
+    GroupByBox,
+    SelectBox,
+    merge_views,
+    normalize,
+    push_down_predicates,
+    rewrite,
+)
+from repro.sqltypes import INTEGER
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    for name in ("t", "u"):
+        database.create_table(
+            TableSchema(
+                name,
+                [
+                    Column("a", INTEGER, nullable=False),
+                    Column("b", INTEGER),
+                ],
+                primary_key=("a",),
+            )
+        )
+    return database
+
+
+class TestViewMerging:
+    def test_simple_view_merges(self, db):
+        box = parse_query(
+            "select v.a from (select a, b from t where b > 1) v where v.a < 5",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        assert all(
+            isinstance(q, BaseTableQuantifier) for q in merged.quantifiers()
+        )
+        predicate = str(merged.predicate)
+        assert "t.b > 1" in predicate and "t.a < 5" in predicate
+
+    def test_renamed_view_columns_substituted(self, db):
+        box = parse_query(
+            "select v.total from (select a + b as total from t) v",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        assert "(t.a + t.b)" in str(merged.items[0].expression)
+
+    def test_nested_views_merge(self, db):
+        box = parse_query(
+            "select w.a from "
+            "(select v.a from (select a from t where b = 1) v) w",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        assert all(
+            isinstance(q, BaseTableQuantifier) for q in merged.quantifiers()
+        )
+
+    def test_view_join_merges_into_parent(self, db):
+        box = parse_query(
+            "select v.a, u.b from (select a from t) v, u where v.a = u.a",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        aliases = {q.alias for q in merged.quantifiers()}
+        assert aliases == {"t", "u"}
+
+    def test_distinct_view_not_merged(self, db):
+        box = parse_query(
+            "select v.a from (select distinct a from t) v",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        assert not isinstance(merged.quantifiers()[0], BaseTableQuantifier)
+
+    def test_order_requirement_rewritten(self, db):
+        box = parse_query(
+            "select v.s from (select a as s from t) v order by v.s",
+            db.catalog,
+        )
+        merged = merge_views(box)
+        assert merged.output_order.columns == (col("t", "a"),)
+
+
+class TestPredicatePushdown:
+    def test_having_on_group_columns_pushes_down(self, db):
+        box = parse_query(
+            "select a, sum(b) as total from t group by a having a > 3",
+            db.catalog,
+        )
+        pushed = push_down_predicates(merge_views(box))
+        block = normalize(pushed)
+        assert block.having is None
+        assert "t.a > 3" in str(block.predicate)
+
+    def test_having_on_aggregate_stays(self, db):
+        box = parse_query(
+            "select a, sum(b) as total from t group by a having sum(b) > 3",
+            db.catalog,
+        )
+        block = normalize(rewrite(box))
+        assert block.having is not None
+        assert block.predicate is None
+
+    def test_mixed_having_splits(self, db):
+        box = parse_query(
+            "select a, sum(b) as total from t group by a "
+            "having a > 3 and sum(b) > 5",
+            db.catalog,
+        )
+        block = normalize(rewrite(box))
+        assert "t.a > 3" in str(block.predicate)
+        assert "> 5" in str(block.having)
+
+
+class TestNormalize:
+    def test_plain_block(self, db):
+        block = normalize(rewrite(parse_query("select a from t", db.catalog)))
+        assert not block.has_group_by()
+        assert block.tables == {"t": "t"}
+
+    def test_group_block(self, db):
+        block = normalize(
+            rewrite(
+                parse_query(
+                    "select a, sum(b) as s from t group by a", db.catalog
+                )
+            )
+        )
+        assert block.has_group_by()
+        assert block.group_columns == [col("t", "a")]
+
+    def test_output_columns(self, db):
+        block = normalize(
+            rewrite(
+                parse_query(
+                    "select a, sum(b) as s from t group by a", db.catalog
+                )
+            )
+        )
+        assert block.output_columns() == [col("t", "a"), col("", "s")]

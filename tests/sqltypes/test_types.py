@@ -1,0 +1,109 @@
+"""Declared type descriptors: validation and coercion."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.sqltypes import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TypeFamily,
+    decimal_type,
+    varchar,
+)
+
+
+class TestInteger:
+    def test_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_accepts_integral_decimal(self):
+        assert INTEGER.validate(decimal.Decimal("7")) == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeSystemError):
+            INTEGER.validate(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeSystemError):
+            INTEGER.validate("7")
+
+    def test_null_passes(self):
+        assert INTEGER.validate(None) is None
+
+
+class TestDouble:
+    def test_coerces_int(self):
+        assert DOUBLE.validate(3) == 3.0
+        assert isinstance(DOUBLE.validate(3), float)
+
+    def test_coerces_decimal(self):
+        assert DOUBLE.validate(decimal.Decimal("1.5")) == 1.5
+
+
+class TestDecimal:
+    def test_quantizes_to_scale(self):
+        money = decimal_type(15, 2)
+        assert money.validate(decimal.Decimal("1.005")) == decimal.Decimal("1.01")
+        assert money.validate(3) == decimal.Decimal("3.00")
+
+    def test_float_round_trip(self):
+        money = decimal_type(15, 2)
+        assert money.validate(0.1) == decimal.Decimal("0.10")
+
+    def test_bad_declaration(self):
+        with pytest.raises(TypeSystemError):
+            decimal_type(2, 5)
+        with pytest.raises(TypeSystemError):
+            decimal_type(0, 0)
+
+
+class TestVarchar:
+    def test_length_enforced(self):
+        vc = varchar(3)
+        assert vc.validate("abc") == "abc"
+        with pytest.raises(TypeSystemError):
+            vc.validate("abcd")
+
+    def test_bad_declaration(self):
+        with pytest.raises(TypeSystemError):
+            varchar(0)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeSystemError):
+            varchar(5).validate(5)
+
+
+class TestDate:
+    def test_accepts_date(self):
+        day = datetime.date(1995, 3, 15)
+        assert DATE.validate(day) == day
+
+    def test_accepts_iso_string(self):
+        assert DATE.validate("1995-03-15") == datetime.date(1995, 3, 15)
+
+    def test_datetime_truncates(self):
+        stamp = datetime.datetime(1995, 3, 15, 12, 30)
+        assert DATE.validate(stamp) == datetime.date(1995, 3, 15)
+
+    def test_bad_string(self):
+        with pytest.raises(TypeSystemError):
+            DATE.validate("not-a-date")
+
+
+class TestComparability:
+    def test_same_family_comparable(self):
+        assert INTEGER.is_comparable_with(DOUBLE)
+        assert INTEGER.is_comparable_with(decimal_type(10, 2))
+
+    def test_cross_family_not_comparable(self):
+        assert not INTEGER.is_comparable_with(varchar(5))
+        assert not DATE.is_comparable_with(INTEGER)
+
+    def test_families(self):
+        assert BOOLEAN.family is TypeFamily.BOOLEAN
+        assert DATE.family is TypeFamily.DATETIME

@@ -1,0 +1,108 @@
+"""Runtime value semantics: NULLs, three-valued compare, sort keys."""
+
+import datetime
+import decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeSystemError
+from repro.sqltypes import NULL, is_null, sort_key, sql_compare, sql_equal
+
+
+class TestNullMarker:
+    def test_singleton(self):
+        from repro.sqltypes.values import SqlNull
+
+        assert SqlNull() is NULL
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_falsy(self):
+        assert not NULL
+
+
+class TestSqlCompare:
+    def test_numeric(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_mixed_numeric_types(self):
+        assert sql_compare(1, decimal.Decimal("1.0")) == 0
+        assert sql_compare(1.5, decimal.Decimal("1.25")) == 1
+        assert sql_compare(1, 1.0) == 0
+
+    def test_strings(self):
+        assert sql_compare("apple", "banana") == -1
+
+    def test_dates(self):
+        earlier = datetime.date(1995, 3, 14)
+        later = datetime.date(1995, 3, 15)
+        assert sql_compare(earlier, later) == -1
+
+    def test_null_is_unknown(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, None) is None
+        assert sql_compare(None, None) is None
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypeSystemError):
+            sql_compare(1, "one")
+
+    def test_sql_equal(self):
+        assert sql_equal(1, 1) is True
+        assert sql_equal(1, 2) is False
+        assert sql_equal(1, None) is None
+
+
+class TestSortKey:
+    def test_nulls_sort_last_ascending(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_nulls_sort_first_descending(self):
+        values = [3, None, 1]
+        ordered = sorted(values, key=lambda v: sort_key(v, descending=True))
+        assert ordered == [None, 3, 1]
+
+    def test_descending_reverses(self):
+        values = [1, 3, 2]
+        ordered = sorted(values, key=lambda v: sort_key(v, descending=True))
+        assert ordered == [3, 2, 1]
+
+    def test_mixed_numerics_sort_consistently(self):
+        values = [decimal.Decimal("1.5"), 1, 2.25]
+        ordered = sorted(values, key=sort_key)
+        assert [float(v) for v in ordered] == [1.0, 1.5, 2.25]
+
+    def test_unsortable_raises(self):
+        with pytest.raises(TypeSystemError):
+            sort_key(object())
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=30))
+    def test_ascending_matches_python_sort(self, values):
+        assert sorted(values, key=sort_key) == sorted(values)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=30))
+    def test_descending_matches_reverse_sort(self, values):
+        by_key = sorted(values, key=lambda v: sort_key(v, descending=True))
+        assert by_key == sorted(values, reverse=True)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=50)),
+            max_size=30,
+        )
+    )
+    def test_total_order_with_nulls(self, values):
+        keys = [sort_key(value) for value in sorted(
+            values, key=sort_key
+        )]
+        for left, right in zip(keys, keys[1:]):
+            assert left <= right

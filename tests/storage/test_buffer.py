@@ -1,0 +1,106 @@
+"""Buffer pool: LRU behaviour and sequential/random classification."""
+
+from repro.storage import BufferPool
+from repro.storage.buffer import IoStats
+
+
+class TestAccessClassification:
+    def test_first_access_is_random_miss(self):
+        pool = BufferPool(8)
+        assert pool.access(("f", 0)) is False
+        assert pool.stats.random_misses == 1
+
+    def test_adjacent_miss_is_sequential(self):
+        pool = BufferPool(2)
+        pool.access(("f", 0))
+        pool.access(("f", 1))
+        pool.access(("f", 2))
+        assert pool.stats.sequential_misses == 2
+        assert pool.stats.random_misses == 1
+
+    def test_prefetch_window_counts_sequential(self):
+        pool = BufferPool(2)
+        pool.access(("f", 0))
+        pool.access(("f", 0 + BufferPool.PREFETCH_WINDOW))
+        assert pool.stats.sequential_misses == 1
+
+    def test_beyond_window_is_random(self):
+        pool = BufferPool(2)
+        pool.access(("f", 0))
+        pool.access(("f", BufferPool.PREFETCH_WINDOW + 1))
+        assert pool.stats.random_misses == 2
+
+    def test_backward_jump_is_random(self):
+        pool = BufferPool(2)
+        pool.access(("f", 5))
+        pool.access(("f", 4))
+        assert pool.stats.random_misses == 2
+
+    def test_per_file_sequentiality(self):
+        pool = BufferPool(8)
+        pool.access(("f", 0))
+        pool.access(("g", 100))
+        pool.access(("f", 1))  # still sequential within f
+        assert pool.stats.sequential_misses == 1
+
+
+class TestResidency:
+    def test_hit_on_resident_page(self):
+        pool = BufferPool(8)
+        pool.access(("f", 0))
+        assert pool.access(("f", 0)) is True
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.access(("f", 0))
+        pool.access(("f", 1))
+        pool.access(("f", 2))  # evicts page 0
+        assert pool.resident_count() == 2
+        assert pool.access(("f", 0)) is False  # miss again
+
+    def test_lru_order_updated_on_hit(self):
+        pool = BufferPool(2)
+        pool.access(("f", 0))
+        pool.access(("f", 1))
+        pool.access(("f", 0))  # refresh page 0
+        pool.access(("f", 2))  # should evict page 1
+        assert pool.access(("f", 0)) is True
+
+    def test_invalidate_file(self):
+        pool = BufferPool(8)
+        pool.access(("f", 0))
+        pool.access(("g", 0))
+        pool.invalidate("f")
+        assert pool.access(("f", 0)) is False
+        assert pool.access(("g", 0)) is True
+
+    def test_clear_resets_everything(self):
+        pool = BufferPool(8)
+        pool.access(("f", 0))
+        pool.clear()
+        assert pool.resident_count() == 0
+        assert pool.stats.total_accesses == 0
+
+
+class TestIoStats:
+    def test_simulated_time_rates(self):
+        stats = IoStats(hits=10, sequential_misses=10, random_misses=5)
+        expected = 10 * IoStats.SEQUENTIAL_MS + 5 * IoStats.RANDOM_MS
+        assert abs(stats.simulated_io_ms() - expected) < 1e-9
+
+    def test_delta_since(self):
+        earlier = IoStats(hits=1, sequential_misses=2, random_misses=3)
+        later = IoStats(hits=5, sequential_misses=6, random_misses=7)
+        delta = later.delta_since(earlier)
+        assert (delta.hits, delta.sequential_misses, delta.random_misses) == (
+            4,
+            4,
+            4,
+        )
+
+    def test_snapshot_is_copy(self):
+        stats = IoStats(hits=1)
+        snapshot = stats.snapshot()
+        stats.hits = 99
+        assert snapshot.hits == 1

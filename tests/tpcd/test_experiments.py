@@ -1,0 +1,77 @@
+"""The experiment functions themselves, at miniature scale.
+
+The benchmark CLI (`python -m repro.bench`) is a deliverable; these
+tests pin that each experiment runs, asserts what it claims, and fills
+its report correctly — at SF small enough for the unit-test budget.
+"""
+
+import pytest
+
+from repro.bench import run_experiment
+
+
+class TestTable1Experiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("table1", scale_factor=0.002, runs=2)
+
+    def test_ratio_recorded(self, report):
+        assert report.data["wall_ratio"] > 0
+        assert report.data["sim_ratio"] > 0
+
+    def test_production_wins(self, report):
+        # At tiny scale wall-clock is noisy; the optimizer's estimates
+        # and the simulated model must still favour production.
+        assert report.data["sim_ratio"] > 1.0
+
+    def test_rows_rendered(self, report):
+        assert any("wall-clock" in str(row[0]) for row in report.rows)
+        assert report.headers
+
+
+class TestComplexityExperiment:
+    def test_monotone_growth(self):
+        report = run_experiment("complexity", tables=4)
+        counts = report.data["counts"]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+
+class TestFigureExperiments:
+    def test_fig7_checks_pass(self):
+        report = run_experiment("fig7", scale_factor=0.002)
+        assert all(row[1] == "yes" for row in report.rows), report.render()
+
+    def test_fig8_checks_pass(self):
+        report = run_experiment("fig8", scale_factor=0.002)
+        assert all(row[1] == "yes" for row in report.rows), report.render()
+
+    def test_fig1_plan_recorded(self):
+        report = run_experiment("fig1")
+        assert "group by" in report.data["plan"].explain()
+
+
+class TestAblationExperiments:
+    def test_reduce_ablation_shows_fewer_sorts(self):
+        report = run_experiment("ablation_reduce")
+        rows = {row[0]: row for row in report.rows}
+        assert int(rows["reduction ON"][3]) < int(rows["reduction OFF"][3])
+
+    def test_cover_ablation_shows_extra_sort(self):
+        report = run_experiment("ablation_cover")
+        rows = {row[0]: row for row in report.rows}
+        assert int(rows["cover OFF"][3]) > int(rows["cover ON"][3])
+
+
+class TestPrefetchAblation:
+    def test_no_prefetch_costs_more_simulated_io(self):
+        from repro.storage.buffer import BufferPool
+
+        original = BufferPool.PREFETCH_WINDOW
+        report = run_experiment(
+            "ablation_prefetch", scale_factor=0.002, runs=1
+        )
+        # The window is restored even though the experiment mutates it.
+        assert BufferPool.PREFETCH_WINDOW == original
+        by_window = {row[0]: float(row[1]) for row in report.rows}
+        assert by_window[1] >= by_window[32]
