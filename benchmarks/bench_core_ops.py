@@ -11,8 +11,10 @@ from repro.core import (
     GeneralOrderSpec,
     OrderContext,
     OrderSpec,
+    clear_memos,
     cover_order,
     homogenize_order,
+    memoization_disabled,
     reduce_order,
 )
 from repro.core import test_order as check_order
@@ -61,3 +63,67 @@ def test_homogenize_order(benchmark, context):
 def test_general_order_satisfaction(benchmark, context):
     general = GeneralOrderSpec.from_group_by(COLUMNS[:4])
     benchmark(lambda: general.satisfied_by(PROPERTY, context))
+
+
+# ----------------------------------------------------------------------
+# Scaling: context size x memoization
+# ----------------------------------------------------------------------
+#
+# The planner replays the same (spec, context) pairs across thousands of
+# plan comparisons; the memo tables turn that replay into dict lookups.
+# These benchmarks track both regimes as FD-chain length grows: "cold"
+# clears the memo registry every round (every call recomputes), "warm"
+# keeps it (steady-state planner behaviour), and "nomemo" runs the
+# unmemoized code path via the kill switch.
+
+SIZES = [8, 16, 32]
+
+
+def build_chain_context(size):
+    columns = [col("s", f"c{i}") for i in range(size)]
+    ctx = OrderContext.empty()
+    for head, tail in zip(columns, columns[1:]):
+        ctx = ctx.with_fd(fd([head], [tail]))
+    ctx = ctx.with_key(columns[:1])
+    return ctx, columns
+
+
+def exercise(ctx, specs):
+    for spec in specs:
+        reduce_order(spec, ctx)
+        check_order(spec, OrderSpec.of(*spec.columns[:1]), ctx)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_cold(benchmark, size):
+    ctx, columns = build_chain_context(size)
+    specs = [OrderSpec.of(*columns[i : i + 4]) for i in range(size - 4)]
+
+    def cold():
+        clear_memos()
+        exercise(ctx, specs)
+
+    benchmark(cold)
+    benchmark.extra_info["chain_length"] = size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_warm(benchmark, size):
+    ctx, columns = build_chain_context(size)
+    specs = [OrderSpec.of(*columns[i : i + 4]) for i in range(size - 4)]
+    exercise(ctx, specs)  # prime the memo tables
+    benchmark(lambda: exercise(ctx, specs))
+    benchmark.extra_info["chain_length"] = size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_nomemo(benchmark, size):
+    ctx, columns = build_chain_context(size)
+    specs = [OrderSpec.of(*columns[i : i + 4]) for i in range(size - 4)]
+
+    def nomemo():
+        with memoization_disabled():
+            exercise(ctx, specs)
+
+    benchmark(nomemo)
+    benchmark.extra_info["chain_length"] = size

@@ -80,6 +80,89 @@ def test_enumeration_time(benchmark, chain_db, chain_block, order_count):
     benchmark.extra_info["sort_ahead_orders"] = order_count
 
 
+# ----------------------------------------------------------------------
+# Star-join scaling: fact + k dimensions
+# ----------------------------------------------------------------------
+#
+# Stars stress the algebra harder than chains: every dimension adds an
+# equivalence class (fact.d_i = dim_i.k) and a key FD, so context
+# content grows with the subset while DP subset count grows as 2^k.
+# This is the shape the memoized algebra / cached contexts are for.
+
+STAR_DIMS = [2, 4, 6]
+
+
+def build_star(dims):
+    rng = random.Random(7)
+    database = Database()
+    fact_columns = (
+        [Column("id", INTEGER, nullable=False)]
+        + [Column(f"d{i}", INTEGER) for i in range(dims)]
+        + [Column("m", INTEGER)]
+    )
+    database.create_table(
+        TableSchema("fact", fact_columns, primary_key=("id",)),
+        rows=[
+            tuple(
+                [i]
+                + [rng.randint(0, 49) for _ in range(dims)]
+                + [rng.randint(0, 999)]
+            )
+            for i in range(400)
+        ],
+    )
+    database.create_index(
+        Index.on("fact_id", "fact", ["id"], unique=True, clustered=True)
+    )
+    for i in range(dims):
+        database.create_table(
+            TableSchema(
+                f"dim{i}",
+                [Column("k", INTEGER, nullable=False), Column("a", INTEGER)],
+                primary_key=("k",),
+            ),
+            rows=[(j, rng.randint(0, 99)) for j in range(50)],
+        )
+        database.create_index(
+            Index.on(f"dim{i}_k", f"dim{i}", ["k"], unique=True, clustered=True)
+        )
+    joins = " and ".join(f"fact.d{i} = dim{i}.k" for i in range(dims))
+    sql = (
+        "select fact.m, "
+        + ", ".join(f"dim{i}.a" for i in range(dims))
+        + " from fact, "
+        + ", ".join(f"dim{i}" for i in range(dims))
+        + f" where {joins}"
+    )
+    block = normalize(rewrite(parse_query(sql, database.catalog)))
+    return database, block
+
+
+@pytest.fixture(scope="module", params=STAR_DIMS)
+def star(request):
+    return (request.param,) + build_star(request.param)
+
+
+def enumerate_star(database, block, dims):
+    planner = PlannerContext.build(database, OptimizerConfig(), block)
+    planner.interesting_orders = [
+        OrderSpec.of(ColumnRef(f"dim{i}", "a")) for i in range(min(3, dims))
+    ]
+    enumerate_joins(planner)
+    return planner.stats.plans_generated
+
+
+def test_star_enumeration_time(benchmark, star):
+    dims, database, block = star
+    plans = benchmark.pedantic(
+        lambda: enumerate_star(database, block, dims),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["plans_generated"] = plans
+    benchmark.extra_info["dimensions"] = dims
+
+
 def test_growth_is_superlinear_but_bounded(chain_db, chain_block):
     counts = [
         enumerate_with_orders(chain_db, chain_block, n) for n in range(5)

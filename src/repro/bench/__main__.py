@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.bench.harness import available_experiments, run_experiment
 
@@ -30,6 +32,13 @@ def main(argv=None) -> int:
         default=5,
         help="repetitions for timed experiments (default 5)",
     )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for machine-readable BENCH_<id>.json payloads "
+        "(experiments that produce one; default: current directory)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.experiments == ["list"]:
@@ -48,6 +57,12 @@ def main(argv=None) -> int:
             runs=arguments.runs,
         )
         print(report.render())
+        payload = report.data.get("json")
+        if payload is not None:
+            arguments.json_dir.mkdir(parents=True, exist_ok=True)
+            target = arguments.json_dir / f"BENCH_{experiment_id}.json"
+            target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            print(f"wrote {target}")
         print()
     return 0
 

@@ -743,6 +743,128 @@ def ablation_prefetch(
     return report
 
 
+# ----------------------------------------------------------------------
+# Plan-time profiling of the order algebra itself
+# ----------------------------------------------------------------------
+
+
+def _clear_planning_caches() -> None:
+    from repro.core.memo import clear_memos
+    from repro.properties.propagate import clear_propagation_memo
+
+    clear_memos()
+    clear_propagation_memo()
+
+
+def _plan_q3_instrumented(
+    database: Database, runs: int, memoized: bool
+) -> Tuple[float, Dict[str, float]]:
+    """(best wall s, counter snapshot) for one cold-cache Q3 planning."""
+    from contextlib import nullcontext
+
+    from repro.core import instrument
+    from repro.core.memo import memoization_disabled
+
+    config = db2_faithful_config(True)
+    best = float("inf")
+    stats: Dict[str, float] = {}
+    for _ in range(max(1, runs)):
+        _clear_planning_caches()
+        instrument.reset()
+        guard = nullcontext() if memoized else memoization_disabled()
+        with guard:
+            started = time.perf_counter()
+            plan_query(database, QUERY_3, config=config)
+            best = min(best, time.perf_counter() - started)
+        stats = instrument.snapshot()
+    return best, stats
+
+
+@experiment(
+    "core_ops",
+    "Plan-time profile: order-algebra call counts and memo hit rates "
+    "while planning TPC-D Query 3",
+)
+def core_ops(
+    scale_factor: float = DEFAULT_SCALE, runs: int = DEFAULT_RUNS, **_ignored
+) -> ExperimentReport:
+    """Before/after view of the algebra memoization on Q3 planning.
+
+    "Before" plans with the four operations' memo tables bypassed (the
+    same indexed closure underneath); "after" is the production path.
+    The machine-readable payload lands in ``BENCH_core_ops.json`` when
+    run through ``python -m repro.bench``.
+    """
+    from repro.core import instrument
+
+    report = ExperimentReport(
+        "core_ops",
+        f"order-algebra counters for one TPC-D Q3 planning (SF "
+        f"{scale_factor}, best of {runs})",
+        headers=("counter", "memo off", "memo on"),
+    )
+    database = tpcd_database(scale_factor)
+    before_wall, before = _plan_q3_instrumented(database, runs, memoized=False)
+    after_wall, after = _plan_q3_instrumented(database, runs, memoized=True)
+
+    interesting = (
+        "reduce.calls",
+        "test.calls",
+        "cover.calls",
+        "homogenize.calls",
+        "closure.builds",
+        "closure.iterations",
+        "context.builds",
+        "stream.context_calls",
+        "propagate.join_calls",
+    )
+    for name in interesting:
+        report.add_row(name, before.get(name, 0), after.get(name, 0))
+    report.add_row(
+        "planning wall-clock (ms)",
+        f"{before_wall * 1000:.1f}",
+        f"{after_wall * 1000:.1f}",
+    )
+
+    hit_rates = {
+        subsystem: instrument.hit_rate(after, subsystem)
+        for subsystem in ("reduce", "test", "cover", "homogenize")
+    }
+    algebra_calls = sum(
+        after.get(f"{s}.calls", 0)
+        for s in ("reduce", "test", "cover", "homogenize")
+    )
+    algebra_hits = sum(
+        after.get(f"{s}.memo_hits", 0)
+        for s in ("reduce", "test", "cover", "homogenize")
+    )
+    overall = algebra_hits / algebra_calls if algebra_calls else 0.0
+    for subsystem, rate in hit_rates.items():
+        report.add_row(f"{subsystem} hit rate", "-", f"{rate:.1%}")
+    report.add_row("overall algebra hit rate", "-", f"{overall:.1%}")
+    report.add_note(
+        "memo-off still uses the indexed incremental closure; the delta "
+        "isolates what the per-context memo tables buy on top"
+    )
+    report.data["json"] = {
+        "experiment": "core_ops",
+        "query": "tpcd-q3",
+        "scale_factor": scale_factor,
+        "runs": runs,
+        "before": {
+            "wall_seconds": before_wall,
+            "counters": {k: before.get(k, 0) for k in interesting},
+        },
+        "after": {
+            "wall_seconds": after_wall,
+            "counters": {k: after.get(k, 0) for k in interesting},
+        },
+        "hit_rates": dict(hit_rates, overall=overall),
+    }
+    report.data["overall_hit_rate"] = overall
+    return report
+
+
 @experiment(
     "ablation_hash",
     "Extension: hash-based operators vs the 1996 sort-based repertoire",

@@ -15,8 +15,17 @@ This package implements Section 4 of Simmen/Shekita/Malkemus (SIGMOD '96):
 * :mod:`repro.core.homogenize` — *Homogenize Order* (Figure 5);
 * :mod:`repro.core.general` — Section 7's "degrees of freedom" orders for
   GROUP BY / DISTINCT.
+
+Supporting infrastructure (no paper section of their own):
+
+* :mod:`repro.core.instrument` — plan-time counters and timers;
+* :mod:`repro.core.memo` — content-fingerprinted memo tables for the
+  four operations;
+* :mod:`repro.core.reference` — the naive textbook formulations kept as
+  a testing oracle.
 """
 
+from repro.core import instrument
 from repro.core.ordering import OrderKey, OrderSpec, SortDirection, asc, desc
 from repro.core.equivalence import EquivalenceClasses
 from repro.core.fd import FDSet, FunctionalDependency, fd
@@ -26,8 +35,12 @@ from repro.core.test import test_order
 from repro.core.cover import cover_order
 from repro.core.homogenize import homogenize_order, homogenize_prefix
 from repro.core.general import GeneralOrderSpec, OrderSegment
+from repro.core.memo import clear_memos, memoization_disabled
 
 __all__ = [
+    "instrument",
+    "clear_memos",
+    "memoization_disabled",
     "OrderKey",
     "OrderSpec",
     "SortDirection",

@@ -6,16 +6,22 @@ a cover exists iff the shorter order is a prefix of the longer, and the
 longer one is the cover.
 
 Combining covers is how one sort comes to serve a merge-join, a GROUP
-BY, and an ORDER BY at once (Figure 6 / Section 6).
+BY, and an ORDER BY at once (Figure 6 / Section 6). Results (including
+the "no cover" outcome) are memoized per context content.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import memo as memo_module
 from repro.core.context import OrderContext
+from repro.core.instrument import COUNTERS
 from repro.core.ordering import OrderSpec
 from repro.core.reduce import reduce_order
+
+# Memo miss sentinel: ``None`` is a legitimate cached answer here.
+_MISS = object()
 
 
 def cover_order(
@@ -24,6 +30,26 @@ def cover_order(
     context: OrderContext,
 ) -> Optional[OrderSpec]:
     """The cover of ``first`` and ``second``, or ``None`` if impossible."""
+    COUNTERS["cover.calls"] = COUNTERS.get("cover.calls", 0) + 1
+    if not memo_module.ENABLED:
+        return _cover_order_impl(first, second, context)
+    memo = context.memo().cover
+    key = (first, second)
+    cached = memo.get(key, _MISS)
+    if cached is not _MISS:
+        COUNTERS["cover.memo_hits"] = COUNTERS.get("cover.memo_hits", 0) + 1
+        return cached
+    result = _cover_order_impl(first, second, context)
+    memo[key] = result
+    return result
+
+
+def _cover_order_impl(
+    first: OrderSpec,
+    second: OrderSpec,
+    context: OrderContext,
+) -> Optional[OrderSpec]:
+    """Figure 4 proper."""
     reduced_first = reduce_order(first, context)
     reduced_second = reduce_order(second, context)
     if len(reduced_first) > len(reduced_second):

@@ -12,7 +12,7 @@ not depend on insertion order.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.expr.nodes import ColumnRef
 
@@ -26,13 +26,44 @@ class EquivalenceClasses:
 
     def __init__(self, equalities: Iterable[Tuple[ColumnRef, ColumnRef]] = ()):
         self._parent: Dict[ColumnRef, ColumnRef] = {}
+        # Lazily built column -> frozenset(class members) map; invalidated
+        # by add_equality. The closure machinery does one dict lookup per
+        # column instead of scanning the whole partition.
+        self._groups: Dict[ColumnRef, FrozenSet[ColumnRef]] = None
         for left, right in equalities:
             self.add_equality(left, right)
 
     def copy(self) -> "EquivalenceClasses":
         duplicate = EquivalenceClasses()
         duplicate._parent = dict(self._parent)
+        # Same partition, same groups; the cache reference is safe to
+        # share because add_equality replaces rather than mutates it.
+        duplicate._groups = self._groups
         return duplicate
+
+    def _group_map(self) -> Dict[ColumnRef, FrozenSet[ColumnRef]]:
+        groups = self._groups
+        if groups is None:
+            by_root: Dict[ColumnRef, List[ColumnRef]] = {}
+            for column in self._parent:
+                by_root.setdefault(self._find(column), []).append(column)
+            groups = {}
+            for members in by_root.values():
+                if len(members) < 2:
+                    continue
+                group = frozenset(members)
+                for member in members:
+                    groups[member] = group
+            self._groups = groups
+        return groups
+
+    def group(self, column: ColumnRef) -> Optional[FrozenSet[ColumnRef]]:
+        """``column``'s non-trivial class, or None if it stands alone.
+
+        One dict lookup on the cached group map — this is the closure
+        hot path that replaces materialized pairwise equivalence FDs.
+        """
+        return self._group_map().get(column)
 
     def _find(self, column: ColumnRef) -> ColumnRef:
         root = column
@@ -54,6 +85,7 @@ class EquivalenceClasses:
         if _column_sort_token(right_root) < _column_sort_token(left_root):
             left_root, right_root = right_root, left_root
         self._parent[right_root] = left_root
+        self._groups = None
 
     def head(self, column: ColumnRef) -> ColumnRef:
         """The designated representative of ``column``'s class.
@@ -73,23 +105,23 @@ class EquivalenceClasses:
 
     def members(self, column: ColumnRef) -> FrozenSet[ColumnRef]:
         """Every column equivalent to ``column`` (including itself)."""
-        if column not in self._parent:
+        group = self._group_map().get(column)
+        if group is None:
             return frozenset((column,))
-        root = self._find(column)
-        return frozenset(
-            candidate
-            for candidate in self._parent
-            if self._find(candidate) == root
-        )
+        return group
 
     def classes(self) -> List[FrozenSet[ColumnRef]]:
         """All non-trivial classes (size >= 2)."""
-        by_root: Dict[ColumnRef, Set[ColumnRef]] = {}
-        for column in self._parent:
-            by_root.setdefault(self._find(column), set()).add(column)
-        return [
-            frozenset(group) for group in by_root.values() if len(group) >= 2
-        ]
+        return list(dict.fromkeys(self._group_map().values()))
+
+    def class_sets(self) -> FrozenSet[FrozenSet[ColumnRef]]:
+        """The partition's non-trivial classes as a hashable set.
+
+        This is the equivalence component of a context fingerprint: two
+        partitions with the same class sets behave identically under
+        head(), members(), and closure consultation.
+        """
+        return frozenset(self._group_map().values())
 
     def merged_with(self, other: "EquivalenceClasses") -> "EquivalenceClasses":
         """A new instance containing both partitions' equalities."""

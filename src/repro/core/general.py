@@ -142,8 +142,7 @@ class GeneralOrderSpec:
         """
         reduced_property = reduce_order(order_property, context)
         position = 0
-        consumed: List[ColumnRef] = []
-        closure = context.fds.closure(())
+        closure = context.closure(())
         for segment in self.segments:
             needed = {
                 context.equivalences.head(column) for column in segment.columns
@@ -160,8 +159,7 @@ class GeneralOrderSpec:
                     if key.direction is not required:
                         return None
                 position += 1
-                consumed.append(key.column)
-                closure = context.fds.closure(consumed)
+                closure.extend(key.column)
                 needed = {
                     column for column in needed if column not in closure
                 }
@@ -191,13 +189,14 @@ class GeneralOrderSpec:
                 hint_rank[key.column] = index
                 hint_direction[key.column] = key.direction
         emitted: List[OrderKey] = []
-        closure = context.fds.closure(())
+        closure = context.closure(())
         for segment in self.segments:
             if segment.is_fixed:
                 head = context.equivalences.head(segment.fixed_key.column)
                 if head in closure:
                     continue
                 emitted.append(segment.fixed_key.with_column(head))
+                closure.extend(head)
             else:
                 heads = {
                     context.equivalences.head(column)
@@ -215,10 +214,7 @@ class GeneralOrderSpec:
                         continue
                     direction = hint_direction.get(column, SortDirection.ASC)
                     emitted.append(OrderKey(column, direction))
-                    closure = context.fds.closure(
-                        [key.column for key in emitted]
-                    )
-            closure = context.fds.closure([key.column for key in emitted])
+                    closure.extend(column)
             if closure.determines_everything:
                 break
         return OrderSpec(emitted)

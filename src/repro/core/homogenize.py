@@ -9,16 +9,28 @@ Unlike reduction, homogenization may pick *any* class member (not just
 the head), and may use equivalences from predicates that have not been
 applied yet — it is about producing an order that will *eventually*
 satisfy the original (Section 4.4).
+
+Both entry points memoize per context content on ``(spec, frozenset of
+target columns)`` — join enumeration homogenizes the same interesting
+orders against the same table column sets for every plan of every DP
+subset containing the table.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set
 
+from repro.core import memo as memo_module
 from repro.core.context import OrderContext
+from repro.core.instrument import COUNTERS
+from repro.core.memo import intern_spec
 from repro.core.ordering import OrderKey, OrderSpec
 from repro.core.reduce import reduce_order
 from repro.expr.nodes import ColumnRef
+
+# Memo miss sentinel: ``None`` is a legitimate cached answer for
+# homogenize_order.
+_MISS = object()
 
 
 def _substitute_key(
@@ -51,7 +63,35 @@ def homogenize_order(
     redundant by FDs do not block homogenization — the paper's example
     where ``{a.x} -> {b.y}`` lets ``(a.x, b.y)`` push down to table ``a``.
     """
-    targets = set(target_columns)
+    COUNTERS["homogenize.calls"] = COUNTERS.get("homogenize.calls", 0) + 1
+    targets = (
+        target_columns
+        if isinstance(target_columns, frozenset)
+        else frozenset(target_columns)
+    )
+    if not memo_module.ENABLED:
+        return _homogenize_order_impl(specification, targets, context)
+    memo = context.memo().homogenize
+    key = (specification, targets)
+    cached = memo.get(key, _MISS)
+    if cached is not _MISS:
+        COUNTERS["homogenize.memo_hits"] = (
+            COUNTERS.get("homogenize.memo_hits", 0) + 1
+        )
+        return cached
+    result = _homogenize_order_impl(specification, targets, context)
+    if result is not None:
+        result = intern_spec(result)
+    memo[key] = result
+    return result
+
+
+def _homogenize_order_impl(
+    specification: OrderSpec,
+    targets: Set[ColumnRef],
+    context: OrderContext,
+) -> Optional[OrderSpec]:
+    """Figure 5 proper."""
     reduced = reduce_order(specification, context)
     substituted: List[OrderKey] = []
     seen: Set[ColumnRef] = set()
@@ -78,7 +118,32 @@ def homogenize_prefix(
     the hope that an FD discovered during planning makes the suffix
     redundant. The result may be empty.
     """
-    targets = set(target_columns)
+    COUNTERS["homogenize.calls"] = COUNTERS.get("homogenize.calls", 0) + 1
+    targets = (
+        target_columns
+        if isinstance(target_columns, frozenset)
+        else frozenset(target_columns)
+    )
+    if not memo_module.ENABLED:
+        return _homogenize_prefix_impl(specification, targets, context)
+    memo = context.memo().prefix
+    key = (specification, targets)
+    cached = memo.get(key)
+    if cached is not None:
+        COUNTERS["homogenize.memo_hits"] = (
+            COUNTERS.get("homogenize.memo_hits", 0) + 1
+        )
+        return cached
+    result = intern_spec(_homogenize_prefix_impl(specification, targets, context))
+    memo[key] = result
+    return result
+
+
+def _homogenize_prefix_impl(
+    specification: OrderSpec,
+    targets: Set[ColumnRef],
+    context: OrderContext,
+) -> OrderSpec:
     reduced = reduce_order(specification, context)
     substituted: List[OrderKey] = []
     seen: Set[ColumnRef] = set()

@@ -1,0 +1,80 @@
+"""Plan-time profiling: a process-wide counter/timer registry.
+
+The order algebra runs inside the optimizer's innermost loops, so its
+cost is measured, not asserted: every closure fixpoint step, algebra
+call, and memo hit increments a counter here. ``repro.bench`` snapshots
+the registry around a planning run and reports call counts and cache
+hit rates (and writes them to ``BENCH_core_ops.json``); the
+counter-budget regression test pins TPC-D Q3's planning work to a fixed
+budget so the quadratic behaviour this layer removed cannot silently
+return.
+
+Counters are plain dict increments (no locks — planning is
+single-threaded) and stay enabled permanently: one dict update per
+counted event is far below measurement noise, and permanently-on
+counters cannot drift out of sync with the code they observe.
+
+Naming convention: ``<subsystem>.<event>``, e.g. ``reduce.calls``,
+``reduce.memo_hits``, ``closure.iterations``. Hit rates are derived by
+the reader (hits / calls), never stored.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+# The registries. Hot paths may import these dicts directly and do
+# ``COUNTERS[name] = COUNTERS.get(name, 0) + amount`` inline; ``count``
+# exists for call sites where a function call is not hot.
+COUNTERS: Dict[str, int] = {}
+TIMERS: Dict[str, float] = {}
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` by ``amount``."""
+    COUNTERS[name] = COUNTERS.get(name, 0) + amount
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Accumulate the wall-clock time of the ``with`` body into ``name``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        TIMERS[name] = TIMERS.get(name, 0.0) + (time.perf_counter() - start)
+
+
+def snapshot() -> Dict[str, float]:
+    """Counters and timers as one flat dict (timers suffixed ``_s``)."""
+    merged: Dict[str, float] = dict(COUNTERS)
+    for name, seconds in TIMERS.items():
+        merged[f"{name}_s"] = seconds
+    return merged
+
+
+def delta(before: Dict[str, float]) -> Dict[str, float]:
+    """What changed since a previous :func:`snapshot` (zeros dropped)."""
+    current = snapshot()
+    changed = {}
+    for name, value in current.items():
+        grown = value - before.get(name, 0)
+        if grown:
+            changed[name] = grown
+    return changed
+
+
+def reset() -> None:
+    """Zero every counter and timer."""
+    COUNTERS.clear()
+    TIMERS.clear()
+
+
+def hit_rate(stats: Dict[str, float], subsystem: str) -> float:
+    """``<subsystem>.memo_hits / <subsystem>.calls`` from a snapshot."""
+    calls = stats.get(f"{subsystem}.calls", 0)
+    if not calls:
+        return 0.0
+    return stats.get(f"{subsystem}.memo_hits", 0) / calls

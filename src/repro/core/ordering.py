@@ -68,7 +68,7 @@ class OrderSpec:
     is trivially satisfied, and as an order property it promises nothing.
     """
 
-    __slots__ = ("_keys",)
+    __slots__ = ("_keys", "_hash")
 
     def __init__(self, keys: Iterable[OrderKey] = ()):
         keys = tuple(keys)
@@ -80,6 +80,10 @@ class OrderSpec:
                 raise OrderError(f"duplicate column {key.column} in order spec")
             seen.add(key.column)
         self._keys: Tuple[OrderKey, ...] = keys
+        # Specs are memo-table keys in the algebra's caching layer; the
+        # hash is cached because it is recomputed far more often than
+        # specs are created.
+        self._hash: int = None
 
     @classmethod
     def of(cls, *columns: ColumnRef) -> "OrderSpec":
@@ -145,7 +149,11 @@ class OrderSpec:
         return isinstance(other, OrderSpec) and self._keys == other._keys
 
     def __hash__(self) -> int:
-        return hash(self._keys)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._keys)
+            self._hash = cached
+        return cached
 
     def __bool__(self) -> bool:
         return bool(self._keys)

@@ -12,8 +12,15 @@ Figure 2 scans the specification backwards testing ``B -> {c_i}`` with
 attribute closure of the *retained* prefix; the two formulations remove
 exactly the same columns (anything the full prefix determines, the
 retained prefix also determines, because dropped columns are themselves
-in the retained prefix's closure) and the forward scan gives the closure
-an incremental shape.
+in the retained prefix's closure) and the forward scan lets the closure
+grow incrementally — one fixpoint across the whole specification instead
+of one per retained key.
+
+Results are memoized per context content (see :mod:`repro.core.memo`):
+reduction is a pure function of ``(spec, context content)`` and contexts
+are immutable, so entries never invalidate. The reduced form is its own
+reduction, so it is seeded into the memo too — re-reducing an already
+canonical spec (Test Order does this constantly) is a first-probe hit.
 
 The result is minimal: no retained column is determined by those before
 it, which is why the reduced form is also the minimal sort-column list
@@ -24,7 +31,10 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core import memo as memo_module
 from repro.core.context import OrderContext
+from repro.core.instrument import COUNTERS
+from repro.core.memo import intern_spec
 from repro.core.ordering import OrderKey, OrderSpec
 
 
@@ -36,6 +46,26 @@ def reduce_order(specification: OrderSpec, context: OrderContext) -> OrderSpec:
     sketch in Section 4.1 and the property tests in
     ``tests/core/test_reduce_properties.py``.
     """
+    COUNTERS["reduce.calls"] = COUNTERS.get("reduce.calls", 0) + 1
+    if not memo_module.ENABLED:
+        return _reduce_order_impl(specification, context)
+    memo = context.memo().reduce
+    cached = memo.get(specification)
+    if cached is not None:
+        COUNTERS["reduce.memo_hits"] = COUNTERS.get("reduce.memo_hits", 0) + 1
+        return cached
+    result = intern_spec(_reduce_order_impl(specification, context))
+    memo[specification] = result
+    # The reduced form is a fixed point of reduction; seed it so callers
+    # that re-reduce canonical specs hit immediately.
+    memo.setdefault(result, result)
+    return result
+
+
+def _reduce_order_impl(
+    specification: OrderSpec, context: OrderContext
+) -> OrderSpec:
+    """Figure 2 proper, on the indexed incremental closure."""
     # Step 1: rewrite onto equivalence-class heads, collapsing duplicates
     # that the rewrite may introduce (x, y with x = y become one column).
     rewritten: List[OrderKey] = []
@@ -49,14 +79,15 @@ def reduce_order(specification: OrderSpec, context: OrderContext) -> OrderSpec:
 
     # Step 2: drop keys determined by the retained prefix. The closure
     # starts from the empty set so empty-headed FDs (constants) already
-    # apply to the first column.
+    # apply to the first column; each retained key extends the same
+    # closure rather than rebuilding it.
     retained: List[OrderKey] = []
-    closure = context.fds.closure(())
+    closure = context.closure(())
     for key in rewritten:
         if key.column in closure:
             continue
         retained.append(key)
-        closure = context.fds.closure([key.column for key in retained])
+        closure.extend(key.column)
         if closure.determines_everything:
             # A key is fully present: every later column is redundant.
             break

@@ -15,7 +15,6 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.homogenize import homogenize_order
 from repro.core.ordering import OrderSpec
 from repro.core.reduce import reduce_order
 from repro.errors import OptimizerError
@@ -617,13 +616,10 @@ def _covered_merge_sorts(
     from repro.core.cover import cover_order
 
     context = outer_plan.properties.context()
-    available = list(outer_plan.properties.schema.columns)
+    available = frozenset(outer_plan.properties.schema.columns)
     variants: List[PlanNode] = []
     seen = {outer_required}
-    for interesting in planner.interesting_orders[:2]:
-        homogenized = homogenize_order(
-            interesting, available, planner.optimistic
-        )
+    for homogenized in planner.homogenized_interesting(available)[:2]:
         if homogenized is None or homogenized.is_empty():
             continue
         cover = cover_order(outer_required, homogenized, context)
@@ -795,14 +791,10 @@ def _sort_ahead_variants(
         return []
     cheapest = min(plans, key=lambda plan: plan.cost.total_ms)
     variants: List[PlanNode] = []
-    available = list(cheapest.properties.schema.columns)
+    available = frozenset(cheapest.properties.schema.columns)
     context = cheapest.properties.context()
-    for interesting in planner.interesting_orders[
-        : config.max_sort_ahead_orders
-    ]:
-        homogenized = homogenize_order(
-            interesting, available, planner.optimistic
-        )
+    homogenized_orders = planner.homogenized_interesting(available)
+    for homogenized in homogenized_orders[: config.max_sort_ahead_orders]:
         if homogenized is None or homogenized.is_empty():
             continue
         target = reduce_order(homogenized, context)

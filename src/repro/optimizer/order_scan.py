@@ -27,19 +27,22 @@ def run_order_scan(planner: PlannerContext) -> List[OrderSpec]:
         return []
     block = planner.block
     optimistic = planner.optimistic
-    base_columns = []
+    collected = []
     for alias, table_name in block.tables.items():
         if block.is_derived(alias):
-            base_columns.extend(
+            collected.extend(
                 planner.derived_plans[alias][0].properties.schema.columns
             )
         else:
-            base_columns.extend(
+            collected.extend(
                 ColumnRef(alias, name)
                 for name in planner.database.catalog.table(
                     table_name
                 ).column_names
             )
+    # Frozen once: homogenization memo keys include the target column
+    # set, so every push below probes the same table.
+    base_columns = frozenset(collected)
     candidates: List[OrderSpec] = []
 
     def push(specification: OrderSpec) -> None:

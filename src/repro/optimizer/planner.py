@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog import Index, TableSchema
 from repro.core.context import OrderContext
+from repro.core.homogenize import homogenize_order
+from repro.core.instrument import COUNTERS
 from repro.core.ordering import OrderSpec
 from repro.cost.estimate import SelectivityEstimator, StatsView
 from repro.cost.model import CostModel
@@ -60,6 +62,43 @@ class PlannerContext:
     # alias -> pre-planned access path for derived tables (set by the
     # Optimizer facade before enumeration).
     derived_plans: Dict[str, List["PlanNode"]] = field(default_factory=dict)
+    # available-column-set -> interesting orders homogenized to it
+    # (aligned with ``interesting_orders``; None where impossible). Every
+    # join pair over the same DP subset shares one entry.
+    _homogenized_cache: Dict[FrozenSet[ColumnRef], Tuple[Optional[OrderSpec], ...]] = field(
+        default_factory=dict
+    )
+
+    def homogenized_interesting(
+        self, available: Iterable[ColumnRef]
+    ) -> Tuple[Optional[OrderSpec], ...]:
+        """The block's interesting orders homogenized onto ``available``.
+
+        Homogenization is always against the optimistic context
+        (Section 5.1's assumption), so the answer depends only on the
+        available column set — which repeats for every plan pair of
+        every DP subset with the same schema. Cached per column set.
+        """
+        key = (
+            available
+            if isinstance(available, frozenset)
+            else frozenset(available)
+        )
+        COUNTERS["planner.homogenized_calls"] = (
+            COUNTERS.get("planner.homogenized_calls", 0) + 1
+        )
+        cached = self._homogenized_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                homogenize_order(interesting, key, self.optimistic)
+                for interesting in self.interesting_orders
+            )
+            self._homogenized_cache[key] = cached
+        else:
+            COUNTERS["planner.homogenized_memo_hits"] = (
+                COUNTERS.get("planner.homogenized_memo_hits", 0) + 1
+            )
+        return cached
 
     @classmethod
     def build(

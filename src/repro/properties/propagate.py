@@ -14,6 +14,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 from repro.catalog import TableSchema
 from repro.core.equivalence import EquivalenceClasses
 from repro.core.fd import FDSet, fd
+from repro.core.instrument import COUNTERS
 from repro.core.ordering import OrderKey, OrderSpec
 from repro.expr.analysis import analyze_predicates, columns_of
 from repro.expr.nodes import ColumnRef, Expression
@@ -142,6 +143,22 @@ def _key_bound_by_join(
     return True
 
 
+# propagate_join memo: (outer content, inner content, conjunct set,
+# cardinality, order flag) -> output properties. Propagation is a pure
+# function of stream *content* and StreamProperties is frozen, so the
+# cached output is safe to share between plans. Join enumeration calls
+# propagate_join once per (plan pair x join method); the pairs repeat
+# constantly — plans over a subset differ mostly in cost, not content.
+_JOIN_MEMO: dict = {}
+_JOIN_MEMO_CAP = 8192
+
+
+def clear_propagation_memo() -> None:
+    """Drop the join-propagation memo (test/bench hygiene, like
+    ``repro.core.memo.clear_memos``)."""
+    _JOIN_MEMO.clear()
+
+
 def propagate_join(
     outer: StreamProperties,
     inner: StreamProperties,
@@ -157,6 +174,38 @@ def propagate_join(
     True — the join operator itself decides.
     """
     join_predicates = list(join_predicates)
+    COUNTERS["propagate.join_calls"] = (
+        COUNTERS.get("propagate.join_calls", 0) + 1
+    )
+    memo_key = (
+        outer.content_key(),
+        inner.content_key(),
+        frozenset(join_predicates),
+        cardinality,
+        preserves_outer_order,
+    )
+    cached = _JOIN_MEMO.get(memo_key)
+    if cached is not None:
+        COUNTERS["propagate.join_memo_hits"] = (
+            COUNTERS.get("propagate.join_memo_hits", 0) + 1
+        )
+        return cached
+    result = _propagate_join_impl(
+        outer, inner, join_predicates, cardinality, preserves_outer_order
+    )
+    if len(_JOIN_MEMO) >= _JOIN_MEMO_CAP:
+        _JOIN_MEMO.clear()
+    _JOIN_MEMO[memo_key] = result
+    return result
+
+
+def _propagate_join_impl(
+    outer: StreamProperties,
+    inner: StreamProperties,
+    join_predicates: List[Expression],
+    cardinality: float,
+    preserves_outer_order: bool,
+) -> StreamProperties:
     facts = analyze_predicates(join_predicates)
     equivalences = outer.equivalences.merged_with(inner.equivalences)
     for left, right in facts.equalities:

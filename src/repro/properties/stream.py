@@ -20,6 +20,7 @@ from typing import FrozenSet, Iterable, List, Set, Tuple
 from repro.core.context import OrderContext
 from repro.core.equivalence import EquivalenceClasses
 from repro.core.fd import FDSet, key_fd
+from repro.core.instrument import COUNTERS
 from repro.core.ordering import OrderSpec
 from repro.expr.nodes import ColumnRef, Expression
 from repro.expr.schema import RowSchema
@@ -151,18 +152,61 @@ class StreamProperties:
             object.__setattr__(self, "equivalences", EquivalenceClasses())
 
     def context(self) -> OrderContext:
-        """Assemble the OrderContext reduction needs for this stream."""
+        """Assemble the OrderContext reduction needs for this stream.
+
+        Cached per instance: the optimizer asks for the same stream's
+        context at every pruning comparison, and properties are frozen
+        so the answer cannot change. The cache lives in ``__dict__``
+        outside the dataclass fields, so ``dataclasses.replace`` (used
+        by ``with_order`` etc.) never carries a stale context over.
+        Contexts treat their equivalences as immutable (derivations
+        copy-on-write), so no defensive copy is needed here.
+        """
+        COUNTERS["stream.context_calls"] = (
+            COUNTERS.get("stream.context_calls", 0) + 1
+        )
+        cached = self.__dict__.get("_cached_context")
+        if cached is not None:
+            COUNTERS["stream.context_memo_hits"] = (
+                COUNTERS.get("stream.context_memo_hits", 0) + 1
+            )
+            return cached
         fds = self.fds
         if self.key_property.one_record:
             fds = fds.add(key_fd(()))
         else:
             for key in self.key_property.keys:
                 fds = fds.add(key_fd(key))
-        return OrderContext(
-            equivalences=self.equivalences.copy(),
+        context = OrderContext(
+            equivalences=self.equivalences,
             fds=fds,
             constants=self.constants,
         )
+        object.__setattr__(self, "_cached_context", context)
+        return context
+
+    def content_key(self) -> Tuple:
+        """A hashable digest of everything propagation can observe.
+
+        Two property sets with equal content keys produce content-equal
+        outputs under every propagation rule; ``propagate_join`` uses
+        this to memoize. Cached per instance the same way as
+        :meth:`context`.
+        """
+        cached = self.__dict__.get("_content_key")
+        if cached is None:
+            cached = (
+                self.schema.columns,
+                self.order,
+                self.key_property,
+                self.fds.as_frozenset(),
+                self.equivalences.class_sets(),
+                self.constants,
+                self.predicates,
+                self.cardinality,
+            )
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
     def with_order(self, order: OrderSpec) -> "StreamProperties":
         return replace(self, order=order)

@@ -1,0 +1,82 @@
+"""Counter-budget regression: TPC-D Q3 planning work stays bounded.
+
+The memoized algebra removed quadratic closure recomputation from the
+planner's inner loop. This test pins the amount of work Q3 planning may
+perform — closure fixpoint iterations, algebra front-door calls, context
+builds — to fixed budgets (measured values with roughly 2x headroom), so
+a regression that silently reintroduces repeated recomputation fails
+loudly instead of just showing up as slower benchmarks.
+
+Budgets were measured at SF 0.002 (the session fixture scale); planning
+work depends on catalog shape and statistics, not row count, so they are
+stable across small scale factors.
+"""
+
+import pytest
+
+from repro.api import plan_query
+from repro.bench.experiments import db2_faithful_config
+from repro.core import clear_memos, instrument
+from repro.properties.propagate import clear_propagation_memo
+from repro.tpcd import QUERY_3
+
+# Measured at SF 0.002 after the memoization work:
+#   closure.builds 192, closure.iterations 505, reduce.calls 359,
+#   test.calls 503, cover.calls 98, context.builds 263,
+#   propagate.join_calls 186, stream.context_calls 575.
+BUDGETS = {
+    "closure.builds": 400,
+    "closure.iterations": 1100,
+    "reduce.calls": 750,
+    "test.calls": 1000,
+    "cover.calls": 220,
+    "context.builds": 550,
+    "propagate.join_calls": 400,
+    "stream.context_calls": 1200,
+}
+
+
+@pytest.fixture()
+def q3_counters(tpcd_db):
+    # Deterministic baseline: cross-run memo state changes which code
+    # paths execute (a propagate_join hit skips context assembly), so
+    # every cache is cleared before the measured planning run.
+    clear_memos()
+    clear_propagation_memo()
+    instrument.reset()
+    plan = plan_query(tpcd_db, QUERY_3, config=db2_faithful_config(True))
+    assert plan is not None
+    stats = instrument.snapshot()
+    clear_memos()
+    clear_propagation_memo()
+    return stats
+
+
+def test_q3_planning_stays_within_counter_budgets(q3_counters):
+    over = {
+        name: (q3_counters.get(name, 0), budget)
+        for name, budget in BUDGETS.items()
+        if q3_counters.get(name, 0) > budget
+    }
+    assert not over, f"counter budgets exceeded (actual, budget): {over}"
+
+
+def test_q3_planning_actually_exercises_the_algebra(q3_counters):
+    # Guards the budget test against vacuous passes: if instrumentation
+    # or the planning entry point stops counting, budgets trivially hold.
+    assert q3_counters.get("reduce.calls", 0) > 50
+    assert q3_counters.get("closure.builds", 0) > 20
+    assert q3_counters.get("propagate.join_calls", 0) > 20
+
+
+def test_q3_planning_memo_hit_rate_above_half(q3_counters):
+    calls = sum(
+        q3_counters.get(f"{subsystem}.calls", 0)
+        for subsystem in ("reduce", "test", "cover", "homogenize")
+    )
+    hits = sum(
+        q3_counters.get(f"{subsystem}.memo_hits", 0)
+        for subsystem in ("reduce", "test", "cover", "homogenize")
+    )
+    assert calls > 0
+    assert hits / calls > 0.5
