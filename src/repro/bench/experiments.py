@@ -881,3 +881,52 @@ def ablation_hash(
         tpcd_database(scale_factor),
         [("sort/merge/NLJ only", sort_based), ("hash enabled", with_hash)],
     )
+
+
+@experiment(
+    "verify_smoke",
+    "Differential plan-oracle smoke: config-matrix fuzz + property audit",
+)
+def verify_smoke(**_ignored) -> ExperimentReport:
+    """Run the ``repro.verify`` smoke battery and report its counts.
+
+    Registered here so CI that already drives ``python -m repro.bench``
+    gets the correctness harness for free; ``python -m repro.verify
+    smoke`` is the standalone entry point.
+    """
+    from repro.verify.oracle import run_audit_battery, run_fuzz, tier1_matrix
+
+    fuzz_report = run_fuzz(
+        seed=2026,
+        n=12,
+        configs=tier1_matrix(),
+        audit_configs=("full", "disabled"),
+    )
+    audit_mismatches = run_audit_battery()
+
+    report = ExperimentReport(
+        "verify_smoke",
+        "Differential plan-oracle smoke run",
+        headers=("check", "scope", "result"),
+    )
+    report.add_row(
+        "config-matrix fuzz",
+        f"{fuzz_report.queries} queries x {fuzz_report.configs} configs",
+        "ok" if fuzz_report.ok else f"{len(fuzz_report.failures)} FAILURES",
+    )
+    report.add_row(
+        "plan-property audit",
+        "fixed battery",
+        "ok" if not audit_mismatches else f"{len(audit_mismatches)} FAILURES",
+    )
+    for failure in fuzz_report.failures:
+        report.add_note(f"fuzz failure: {failure.spec.sql()}")
+    for mismatch in audit_mismatches:
+        report.add_note(f"audit failure: {mismatch}")
+    report.data["json"] = {
+        "fuzz_queries": fuzz_report.queries,
+        "fuzz_configs": fuzz_report.configs,
+        "fuzz_failures": len(fuzz_report.failures),
+        "audit_failures": len(audit_mismatches),
+    }
+    return report

@@ -1,0 +1,334 @@
+"""Delta-debugging minimizer for oracle failures.
+
+Given a schema and a failing :class:`~repro.verify.gen.QuerySpec`, the
+shrinker repeatedly tries structural edits — dropping filter conjuncts,
+order keys, aggregates, grouping, DISTINCT, FETCH FIRST, whole joined
+tables — and then ddmin-style row removal per table, keeping every edit
+under which the failure (same mismatch kinds, ignoring incidental
+errors) still reproduces. The result is a minimal failing repro plus a
+ready-to-paste pytest case (:meth:`ShrinkResult.pytest_case`), so a
+fuzz finding lands in the tree as a named regression test rather than a
+seed number.
+
+The failure signature is the set of non-``error`` mismatch kinds (or
+``{"error"}`` when the original failure *is* an engine crash): an edit
+that merely turns a wrong-rows failure into a parse error is rejected,
+otherwise shrinking would walk toward trivially broken SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.optimizer import OptimizerConfig
+from repro.sqltypes.types import VarcharType
+from repro.verify.gen import QuerySpec, SchemaSpec
+from repro.verify.oracle import Mismatch, check_query, full_matrix
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing (schema, query) pair the shrinker reached."""
+
+    schema: SchemaSpec
+    spec: QuerySpec
+    mismatches: List[Mismatch]
+    trials: int
+
+    @property
+    def sql(self) -> str:
+        return self.spec.sql()
+
+    def pytest_case(self, name: str = "test_shrunk_repro") -> str:
+        """A self-contained pytest function reproducing the failure."""
+        used = _used_tables(self.schema, self.spec)
+        lines = [
+            f"def {name}():",
+            "    from repro import Column, Database, Index, TableSchema",
+            "    from repro.sqltypes import INTEGER, varchar",
+            "    from repro.verify.oracle import check_query, full_matrix",
+            "",
+            "    db = Database()",
+        ]
+        for table in self.schema.tables:
+            if table.name not in used:
+                continue
+            columns = ", ".join(
+                _render_column(column) for column in table.columns
+            )
+            pk = (
+                f", primary_key={tuple(table.primary_key)!r}"
+                if table.primary_key
+                else ""
+            )
+            lines.append(
+                f"    db.create_table(TableSchema({table.name!r}, "
+                f"[{columns}]{pk}),"
+            )
+            lines.append(f"        rows={list(table.rows)!r})")
+            for index_name, index_columns, unique, clustered in table.indexes:
+                lines.append(
+                    f"    db.create_index(Index.on({index_name!r}, "
+                    f"{table.name!r}, {list(index_columns)!r}, "
+                    f"unique={unique}, clustered={clustered}))"
+                )
+        lines += [
+            f"    sql = {self.sql!r}",
+            "    assert not check_query(db, sql, full_matrix())",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def _render_column(column) -> str:
+    if isinstance(column.datatype, VarcharType):
+        datatype = f"varchar({column.datatype.max_length})"
+    else:
+        datatype = "INTEGER"
+    nullable = "" if column.nullable else ", nullable=False"
+    return f"Column({column.name!r}, {datatype}{nullable})"
+
+
+def _used_tables(schema: SchemaSpec, spec: QuerySpec) -> FrozenSet[str]:
+    if spec.raw is None:
+        return frozenset(spec.tables)
+    sql = spec.raw.lower()
+    return frozenset(
+        table.name
+        for table in schema.tables
+        if f" {table.name}" in sql or f"from {table.name}" in sql
+    )
+
+
+# ----------------------------------------------------------------------
+# The shrinking loop
+# ----------------------------------------------------------------------
+
+
+def shrink(
+    schema: SchemaSpec,
+    spec: QuerySpec,
+    configs: Optional[Dict[str, OptimizerConfig]] = None,
+    max_trials: int = 2000,
+) -> ShrinkResult:
+    """Minimize a failing (schema, spec) pair under ``configs``."""
+    if configs is None:
+        configs = full_matrix()
+
+    trials = [0]
+
+    def failure(
+        candidate_schema: SchemaSpec, candidate_spec: QuerySpec
+    ) -> List[Mismatch]:
+        trials[0] += 1
+        try:
+            database = candidate_schema.build()
+            return check_query(database, candidate_spec.sql(), configs)
+        except Exception:
+            # A schema/spec the engine cannot even build is not a valid
+            # reduction of the original failure.
+            return []
+
+    original = failure(schema, spec)
+    if not original:
+        raise ValueError("shrink() called on a non-failing query")
+    signature = _signature(original)
+
+    def still_fails(
+        candidate_schema: SchemaSpec, candidate_spec: QuerySpec
+    ) -> Optional[List[Mismatch]]:
+        if trials[0] >= max_trials:
+            return None
+        mismatches = failure(candidate_schema, candidate_spec)
+        if mismatches and _signature(mismatches) & signature:
+            return mismatches
+        return None
+
+    current = original
+    # Alternate clause and row shrinking until a full pass changes
+    # nothing (clause drops can unlock row drops and vice versa).
+    changed = True
+    while changed and trials[0] < max_trials:
+        changed = False
+        spec, current, spec_changed = _shrink_clauses(
+            schema, spec, current, still_fails
+        )
+        changed = changed or spec_changed
+        schema, current, rows_changed = _shrink_rows(
+            schema, spec, current, still_fails
+        )
+        changed = changed or rows_changed
+    return ShrinkResult(schema, spec, current, trials[0])
+
+
+def _signature(mismatches: Sequence[Mismatch]) -> FrozenSet[str]:
+    kinds = frozenset(m.kind for m in mismatches) - {"error"}
+    return kinds or frozenset({"error"})
+
+
+def _shrink_clauses(
+    schema: SchemaSpec,
+    spec: QuerySpec,
+    current: List[Mismatch],
+    still_fails: Callable,
+):
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _clause_edits(schema, spec):
+            mismatches = still_fails(schema, candidate)
+            if mismatches is not None:
+                spec, current = candidate, mismatches
+                progress = changed = True
+                break
+    return spec, current, changed
+
+
+def _clause_edits(schema: SchemaSpec, spec: QuerySpec):
+    """Candidate one-step reductions of ``spec``, most aggressive first."""
+    if spec.raw is not None:
+        yield from _raw_edits(spec)
+        return
+
+    # Drop whole joined tables (never the first FROM entry).
+    for table in spec.tables[1:]:
+        yield _without_table(schema, spec, table)
+    if spec.fetch_first is not None:
+        yield replace(spec, fetch_first=None)
+    if spec.distinct:
+        yield replace(spec, distinct=False)
+    # Drop the aggregation wholesale (grouped query becomes a plain
+    # projection of its former grouping columns).
+    if spec.group_by or spec.aggregates:
+        yield replace(
+            spec,
+            group_by=(),
+            aggregates=(),
+            select=spec.group_by or (_any_column(schema, spec),),
+            order_by=tuple(
+                key
+                for key in spec.order_by
+                if key[0] in spec.group_by
+            ),
+        )
+    for index in range(len(spec.filters)):
+        yield replace(
+            spec,
+            filters=spec.filters[:index] + spec.filters[index + 1 :],
+        )
+    for index in range(len(spec.aggregates)):
+        if len(spec.aggregates) > 1 or spec.group_by:
+            kept = spec.aggregates[:index] + spec.aggregates[index + 1 :]
+            dropped_alias = spec.aggregates[index].split(" as ")[-1]
+            yield replace(
+                spec,
+                aggregates=kept,
+                order_by=tuple(
+                    key
+                    for key in spec.order_by
+                    if key[0] != dropped_alias
+                ),
+            )
+    for index in range(len(spec.order_by)):
+        yield replace(
+            spec,
+            order_by=spec.order_by[:index] + spec.order_by[index + 1 :],
+        )
+    if len(spec.select) > 1:
+        for index in range(len(spec.select)):
+            dropped = spec.select[index]
+            if any(key[0] == dropped for key in spec.order_by):
+                continue  # keep ORDER BY targets selected
+            yield replace(
+                spec,
+                select=spec.select[:index] + spec.select[index + 1 :],
+            )
+
+
+def _raw_edits(spec: QuerySpec):
+    """Coarse reductions for opaque UNION/derived-table SQL."""
+    sql = spec.raw
+    lowered = sql.lower()
+    if " order by " in lowered:
+        yield replace(spec, raw=sql[: lowered.index(" order by ")])
+    for separator in (" union all ", " union "):
+        if separator in lowered:
+            cut = lowered.index(separator)
+            yield replace(spec, raw=sql[:cut])
+            yield replace(spec, raw=sql[cut + len(separator) :])
+            break
+
+
+def _without_table(
+    schema: SchemaSpec, spec: QuerySpec, table: str
+) -> QuerySpec:
+    prefix = f"{table}."
+    mentions = lambda text: prefix in text
+    tables = tuple(t for t in spec.tables if t != table)
+    select = tuple(c for c in spec.select if not mentions(c))
+    group_by = tuple(c for c in spec.group_by if not mentions(c))
+    aggregates = tuple(a for a in spec.aggregates if not mentions(a))
+    dropped_aliases = {
+        a.split(" as ")[-1] for a in spec.aggregates if mentions(a)
+    }
+    order_by = tuple(
+        key
+        for key in spec.order_by
+        if not mentions(key[0]) and key[0] not in dropped_aliases
+    )
+    if not (select or group_by or aggregates):
+        select = (_first_column(schema, tables[0]),)
+    return replace(
+        spec,
+        tables=tables,
+        outer_on=tuple(
+            entry for entry in spec.outer_on if entry[0] != table
+        ),
+        join_filters=tuple(
+            c for c in spec.join_filters if not mentions(c)
+        ),
+        filters=tuple(c for c in spec.filters if not mentions(c)),
+        select=select,
+        group_by=group_by,
+        aggregates=aggregates,
+        order_by=order_by,
+    )
+
+
+def _first_column(schema: SchemaSpec, table: str) -> str:
+    return f"{table}.{schema.table(table).columns[0].name}"
+
+
+def _any_column(schema: SchemaSpec, spec: QuerySpec) -> str:
+    return _first_column(schema, spec.tables[0])
+
+
+def _shrink_rows(
+    schema: SchemaSpec,
+    spec: QuerySpec,
+    current: List[Mismatch],
+    still_fails: Callable,
+):
+    """ddmin-style row removal, each table independently."""
+    changed = False
+    for table in [t.name for t in schema.tables]:
+        rows = list(schema.table(table).rows)
+        chunk = max(1, len(rows) // 2)
+        while True:
+            index = 0
+            while index < len(rows):
+                candidate_rows = rows[:index] + rows[index + chunk :]
+                candidate = schema.with_rows(table, candidate_rows)
+                mismatches = still_fails(candidate, spec)
+                if mismatches is not None:
+                    rows = candidate_rows
+                    schema, current = candidate, mismatches
+                    changed = True
+                else:
+                    index += chunk
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return schema, current, changed

@@ -1,0 +1,137 @@
+"""DESC and mixed-direction orders through Reduce/Test/Cover.
+
+The paper's prose assumes ascending "without loss of generality"
+(§4.2); the implementation carries directions explicitly, so every
+Figure-2/3/4 behavior must hold with DESC and mixed-direction keys too.
+These were previously only exercised indirectly via TPC-D Q3's single
+``rev desc`` key.
+"""
+
+from repro.core import OrderContext, cover_order, reduce_order
+from repro.core import test_order as check_order
+from repro.core.fd import fd
+from repro.core.ordering import SortDirection, asc, desc, spec
+from repro.expr import col
+from repro.expr.nodes import Comparison, ComparisonOp, Literal
+
+X, Y, Z = col("t", "x"), col("t", "y"), col("t", "z")
+
+
+def eq_const(column, value):
+    return Comparison(ComparisonOp.EQ, column, Literal(value))
+
+
+def eq_cols(left, right):
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+class TestReduceWithDirections:
+    def test_constant_removal_keeps_desc_suffix(self):
+        """§4.1 constant binding, descending flavor: (x desc, y desc)
+        with x = 10 reduces to (y desc) — direction survives."""
+        context = OrderContext.from_predicates([eq_const(X, 10)])
+        assert reduce_order(spec(desc(X), desc(Y)), context) == spec(desc(Y))
+
+    def test_equivalence_rewrite_preserves_direction(self):
+        context = OrderContext.from_predicates([eq_cols(X, Y)])
+        reduced = reduce_order(spec(desc(X), asc(Z)), context)
+        assert [key.direction for key in reduced] == [
+            SortDirection.DESC,
+            SortDirection.ASC,
+        ]
+        # Both spellings of the class land on the same reduced form.
+        assert reduced == reduce_order(spec(desc(Y), asc(Z)), context)
+
+    def test_key_truncates_mixed_direction_suffix(self):
+        """§4.1/§4.2: x a key ⇒ (x desc, y asc) reduces to (x desc)."""
+        context = OrderContext(fds=None).with_key([X])
+        assert reduce_order(spec(desc(X), asc(Y)), context) == spec(desc(X))
+
+    def test_fd_removal_ignores_directions(self):
+        """FD-based removal is direction-blind: x → y drops y from
+        (x desc, y asc, z desc) leaving (x desc, z desc)."""
+        context = OrderContext(fds=None).with_fd(fd([X], [Y]))
+        assert reduce_order(
+            spec(desc(X), asc(Y), desc(Z)), context
+        ) == spec(desc(X), desc(Z))
+
+    def test_asc_and_desc_specs_stay_distinct(self):
+        context = OrderContext.empty()
+        assert reduce_order(spec(desc(X)), context) != reduce_order(
+            spec(asc(X)), context
+        )
+
+
+class TestTestOrderWithDirections:
+    def test_descending_prefix_satisfaction(self):
+        """§4.2: OP = (x desc, y) satisfies I = (x desc) — prefix
+        satisfaction holds per-key on (column, direction) pairs."""
+        assert check_order(
+            spec(desc(X)), spec(desc(X), asc(Y)), OrderContext.empty()
+        )
+
+    def test_descending_prefix_satisfaction_after_reduction(self):
+        """§4.2 with reduction: x a key ⇒ I = (x desc, y desc) reduces
+        to (x desc), satisfied by OP = (x desc, z)."""
+        context = OrderContext(fds=None).with_key([X])
+        assert check_order(
+            spec(desc(X), desc(Y)), spec(desc(X), asc(Z)), context
+        )
+
+    def test_mixed_direction_exact_prefix(self):
+        assert check_order(
+            spec(asc(X), desc(Y)),
+            spec(asc(X), desc(Y), asc(Z)),
+            OrderContext.empty(),
+        )
+
+    def test_direction_mismatch_fails_each_position(self):
+        empty = OrderContext.empty()
+        assert not check_order(spec(desc(X)), spec(asc(X)), empty)
+        assert not check_order(
+            spec(asc(X), asc(Y)), spec(asc(X), desc(Y)), empty
+        )
+
+    def test_direction_mismatch_fails_even_with_context(self):
+        """Reduction rewrites columns, never directions: x = y makes the
+        columns interchangeable but (x desc) still conflicts with an
+        ascending property."""
+        context = OrderContext.from_predicates([eq_cols(X, Y)])
+        assert not check_order(spec(desc(X)), spec(asc(Y)), context)
+        assert check_order(spec(desc(X)), spec(desc(Y)), context)
+
+
+class TestCoverWithDirections:
+    def test_cover_of_mixed_direction_prefix(self):
+        cover = cover_order(
+            spec(desc(X)), spec(desc(X), asc(Y)), OrderContext.empty()
+        )
+        assert cover == spec(desc(X), asc(Y))
+
+    def test_no_cover_for_conflicting_directions(self):
+        assert (
+            cover_order(spec(asc(X)), spec(desc(X)), OrderContext.empty())
+            is None
+        )
+        assert (
+            cover_order(
+                spec(asc(X), asc(Y)),
+                spec(asc(X), desc(Y)),
+                OrderContext.empty(),
+            )
+            is None
+        )
+
+    def test_cover_after_fd_reduction_keeps_directions(self):
+        """With x → y, (x desc, y asc, z desc) and (x desc, z desc) both
+        reduce to (x desc, z desc); the cover is that reduced form."""
+        context = OrderContext(fds=None).with_fd(fd([X], [Y]))
+        cover = cover_order(
+            spec(desc(X), asc(Y), desc(Z)), spec(desc(X), desc(Z)), context
+        )
+        assert cover == spec(desc(X), desc(Z))
+
+    def test_reversed_spec_roundtrip(self):
+        mixed = spec(asc(X), desc(Y))
+        assert mixed.reversed() == spec(desc(X), asc(Y))
+        assert mixed.reversed().reversed() == mixed

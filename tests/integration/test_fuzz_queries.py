@@ -1,260 +1,68 @@
-"""Randomized query fuzzing: generated SQL vs the brute-force reference.
+"""Randomized query fuzzing, rebased onto :mod:`repro.verify`.
 
-A seeded generator produces queries over a three-table schema covering
-joins (inner and left outer), filters (constants, ranges, IN, IS NULL),
-grouping with every aggregate kind, DISTINCT, ORDER BY with mixed
-directions, and FETCH FIRST. Every query runs under four optimizer
-configurations and must match the reference row set; ordered queries
-must also come out ordered.
+The generator, reference oracle, and config-matrix diffing all live in
+the library now (``repro.verify.gen`` / ``repro.verify.oracle``); this
+module just drives them inside the tier-1 budget:
+
+* the tier-1 pass runs 40 seeds x 3 queries under the four historical
+  configs (exactly the seed test's coverage, now via the library);
+* the ``slow``-marked deep pass runs 500 queries under the *full*
+  17-config feature-toggle matrix with plan-property auditing — opt in
+  with ``pytest -m slow`` (or run ``python -m repro.verify fuzz``).
 """
-
-import random
 
 import pytest
 
-from repro import (
-    Column,
-    Database,
-    Index,
-    OptimizerConfig,
-    TableSchema,
-    run_query,
+from repro.verify.gen import GenConfig, QueryGenerator, generate_schema
+from repro.verify.oracle import (
+    check_query,
+    full_matrix,
+    run_fuzz,
+    tier1_matrix,
 )
-from repro.sqltypes import INTEGER, varchar
-from repro.sqltypes.values import sort_key
-from tests.reference import reference_query
+from repro.verify.shrink import shrink
 
 
 @pytest.fixture(scope="module")
-def db():
-    rng = random.Random(2026)
-    database = Database()
-    database.create_table(
-        TableSchema(
-            "r",
-            [
-                Column("id", INTEGER, nullable=False),
-                Column("grp", INTEGER),
-                Column("val", INTEGER),
-            ],
-            primary_key=("id",),
-        ),
-        rows=[
-            (
-                i,
-                rng.choice([0, 1, 2, 3, None]),
-                rng.randint(0, 50),
-            )
-            for i in range(30)
-        ],
-    )
-    database.create_table(
-        TableSchema(
-            "s",
-            [
-                Column("rid", INTEGER, nullable=False),
-                Column("tag", varchar(4)),
-                Column("amt", INTEGER),
-            ],
-        ),
-        rows=[
-            (rng.randint(0, 45), rng.choice(["a", "b", "c"]), rng.randint(1, 20))
-            for _ in range(60)
-        ],
-    )
-    database.create_table(
-        TableSchema(
-            "u",
-            [Column("g", INTEGER, nullable=False), Column("w", INTEGER)],
-        ),
-        rows=[(i % 4, rng.randint(0, 9)) for i in range(16)],
-    )
-    database.create_index(Index.on("r_id", "r", ["id"], unique=True, clustered=True))
-    database.create_index(Index.on("s_rid", "s", ["rid"], clustered=True))
-    database.create_index(Index.on("r_grp", "r", ["grp"]))
-    return database
+def harness():
+    schema = generate_schema(2026)
+    return schema, schema.build()
 
 
-class QueryGenerator:
-    """Seeded random single-block query generator for the fuzz schema."""
-
-    def __init__(self, seed: int):
-        self.rng = random.Random(seed)
-
-    def generate(self) -> str:
-        rng = self.rng
-        if rng.random() < 0.12:
-            return self._generate_union()
-        if rng.random() < 0.12:
-            return self._generate_derived()
-        shape = rng.choice(
-            ["single", "single", "join", "join", "outer", "triple"]
-        )
-        if shape == "single":
-            tables, columns = "r", ["r.id", "r.grp", "r.val"]
-        elif shape == "join":
-            tables = "r, s"
-            columns = ["r.id", "r.grp", "r.val", "s.tag", "s.amt"]
-        elif shape == "outer":
-            tables = "r left join s on r.id = s.rid"
-            columns = ["r.id", "r.grp", "r.val", "s.tag", "s.amt"]
-        else:
-            tables = "r, s, u"
-            columns = ["r.id", "r.grp", "s.amt", "u.w"]
-
-        where = self._where(shape, rng)
-        group_by, select_list, order_candidates = self._select(
-            shape, columns, rng
-        )
-        distinct = (
-            "distinct " if not group_by and rng.random() < 0.2 else ""
-        )
-        sql = f"select {distinct}{select_list} from {tables}"
-        if where:
-            sql += f" where {where}"
-        if group_by:
-            sql += f" group by {group_by}"
-        if order_candidates and rng.random() < 0.8:
-            count = rng.randint(1, min(2, len(order_candidates)))
-            keys = rng.sample(order_candidates, count)
-            rendered = [
-                key + (" desc" if rng.random() < 0.4 else "")
-                for key in keys
-            ]
-            sql += " order by " + ", ".join(rendered)
-            if rng.random() < 0.25:
-                sql += f" fetch first {rng.randint(1, 8)} rows only"
-        return sql
-
-    def _generate_union(self) -> str:
-        rng = self.rng
-        all_kw = " all" if rng.random() < 0.5 else ""
-        left = rng.choice(
-            ["select id, val from r", "select rid, amt from s"]
-        )
-        right = rng.choice(
-            [
-                "select rid, amt from s where amt > 5",
-                "select id, val from r where val < 30",
-                "select g, w from u",
-            ]
-        )
-        sql = f"{left} union{all_kw} {right}"
-        if rng.random() < 0.7:
-            direction = " desc" if rng.random() < 0.4 else ""
-            sql += f" order by 1{direction}, 2"
-        return sql
-
-    def _generate_derived(self) -> str:
-        rng = self.rng
-        view = rng.choice(
-            [
-                "(select rid, count(*) as n, sum(amt) as total "
-                "from s group by rid)",
-                "(select distinct tag, rid from s)",
-                "(select grp, max(val) as hi from r group by grp)",
-            ]
-        )
-        if "n," in view or "n, " in view or "as n" in view:
-            columns = ["v.rid", "v.n", "v.total"]
-        elif "tag" in view:
-            columns = ["v.tag", "v.rid"]
-        else:
-            columns = ["v.grp", "v.hi"]
-        chosen = rng.sample(columns, rng.randint(1, len(columns)))
-        sql = f"select {', '.join(chosen)} from {view} v"
-        if rng.random() < 0.5 and "v.rid" in columns:
-            sql = (
-                f"select r.id, {', '.join(chosen)} from {view} v, r "
-                "where v.rid = r.id"
-            )
-            chosen = ["r.id"] + chosen
-        if rng.random() < 0.7:
-            key = rng.choice(chosen)
-            direction = " desc" if rng.random() < 0.4 else ""
-            sql += f" order by {key}{direction}"
-        return sql
-
-    def _where(self, shape: str, rng: random.Random) -> str:
-        conjuncts = []
-        if shape in ("join", "triple"):
-            conjuncts.append("r.id = s.rid")
-        if shape == "triple":
-            conjuncts.append("r.grp = u.g")
-        options = [
-            "r.val > 25",
-            "r.val between 10 and 40",
-            "r.grp = 2",
-            "r.grp is null",
-            "r.grp is not null",
-            "r.id < 20",
-        ]
-        if shape in ("join", "outer", "triple"):
-            options += ["s.amt > 10", "s.tag in ('a', 'b')", "s.tag = 'c'"]
-        for option in rng.sample(options, rng.randint(0, 2)):
-            conjuncts.append(option)
-        return " and ".join(conjuncts)
-
-    def _select(self, shape: str, columns, rng: random.Random):
-        if rng.random() < 0.4:
-            # Aggregation query.
-            group_columns = rng.sample(
-                [c for c in columns if "amt" not in c and "val" not in c],
-                rng.randint(1, 2),
-            )
-            value = "s.amt" if any("s." in c for c in columns) else "r.val"
-            aggregates = rng.sample(
-                [
-                    f"count(*) as n",
-                    f"sum({value}) as total",
-                    f"min({value}) as lo",
-                    f"max({value}) as hi",
-                    f"avg({value}) as mean",
-                    f"count(distinct {value}) as nd",
-                ],
-                rng.randint(1, 2),
-            )
-            select_list = ", ".join(group_columns + aggregates)
-            order_candidates = group_columns + [
-                a.split(" as ")[1] for a in aggregates
-            ]
-            return ", ".join(group_columns), select_list, order_candidates
-        chosen = rng.sample(columns, rng.randint(1, len(columns)))
-        return "", ", ".join(chosen), chosen
-
-
-CONFIGS = {
-    "full": OptimizerConfig(),
-    "disabled": OptimizerConfig.disabled(),
-    "no-hash": OptimizerConfig(
-        enable_hash_join=False, enable_hash_group_by=False
-    ),
-    "no-sortahead": OptimizerConfig(enable_sort_ahead=False),
-}
-
-
-def normalized(rows):
-    return sorted(
-        rows, key=lambda row: tuple(sort_key(value) for value in row)
-    )
+@pytest.fixture(scope="module")
+def configs():
+    return tier1_matrix()
 
 
 @pytest.mark.parametrize("seed", range(40))
-def test_fuzzed_query_matches_reference(db, seed):
-    generator = QueryGenerator(seed)
+def test_fuzzed_query_matches_reference(harness, configs, seed):
+    schema, db = harness
+    generator = QueryGenerator(schema, seed)
     for _ in range(3):
-        sql = generator.generate()
-        expected = reference_query(db, sql)
-        fetch_limited = "fetch first" in sql
-        for name, config in CONFIGS.items():
-            result = run_query(db, sql, config=config)
-            if fetch_limited and "order by" in sql:
-                # With ties at the cut-off, any valid top-k is correct;
-                # compare multisets of the sort keys instead of rows.
-                assert len(result.rows) == len(expected), (
-                    f"{sql!r} under {name}\n{result.plan.explain()}"
-                )
-            else:
-                assert normalized(result.rows) == normalized(expected), (
-                    f"{sql!r} under {name}\n{result.plan.explain()}"
-                )
+        spec = generator.generate()
+        mismatches = check_query(db, spec.sql(), configs)
+        assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.slow
+def test_deep_fuzz_full_matrix_with_audit():
+    """500 queries, all 17 configs, auditing the full-featured plan.
+
+    On failure the minimal shrunk repro is part of the message — paste
+    it into a regression test rather than chasing the seed.
+    """
+    report = run_fuzz(
+        seed=7,
+        n=500,
+        gen_config=GenConfig(tables=4),
+        configs=full_matrix(),
+        audit_configs=("full",),
+    )
+    details = []
+    for failure in report.failures:
+        if failure.spec.raw is None:
+            result = shrink(failure.schema, failure.spec, full_matrix())
+            details.append(result.pytest_case())
+        else:
+            details.append(failure.spec.sql())
+    assert report.ok, report.summary() + "\n" + "\n".join(details)

@@ -1,159 +1,41 @@
 """Validate §5.2.1 property propagation against *executed* data.
 
-For a battery of queries, every node of the chosen plan is executed in
+The checking logic lives in :func:`repro.verify.oracle.audit_node` now
+(the CLI's ``python -m repro.verify audit`` runs the same battery); this
+module keeps the per-query/per-config pytest parametrization so a single
+violated property fails one named test case.
+
+For every battery query, each node of the chosen plan is executed in
 isolation and its claimed properties are checked against the rows it
-actually produces:
-
-* each candidate key in the key property is unique;
-* the one-record condition means at most one row;
-* every explicit FD holds functionally;
-* the order property matches the physical row order;
-* constant-bound columns hold a single value.
-
-This is the strongest guard against unsound reductions: a wrong key or
-FD would silently license removing a sort the data needs.
+actually produces: candidate keys unique, one-record means at most one
+row, explicit FDs functional, the order property physically true, and
+constant-bound columns single-valued. This is the strongest guard
+against unsound reductions: a wrong key or FD would silently license
+removing a sort the data needs.
 """
-
-import random
 
 import pytest
 
-from repro import Column, Database, Index, OptimizerConfig, TableSchema
 from repro.api import plan_query
-from repro.core.ordering import SortDirection
-from repro.executor.build import build_operator
-from repro.executor.context import ExecutionContext
-from repro.optimizer.plan import OpKind, PlanNode
-from repro.sqltypes import INTEGER, varchar
-from repro.sqltypes.values import sort_key
+from repro.verify.oracle import (
+    AUDIT_QUERIES,
+    audit_matrix,
+    audit_plan,
+    build_audit_database,
+)
 
 
 @pytest.fixture(scope="module")
 def db():
-    rng = random.Random(17)
-    database = Database()
-    database.create_table(
-        TableSchema(
-            "d",
-            [
-                Column("k", INTEGER, nullable=False),
-                Column("grp", INTEGER),
-                Column("name", varchar(8)),
-            ],
-            primary_key=("k",),
-        ),
-        rows=[(i, rng.randint(0, 6), f"n{i % 9}") for i in range(40)],
-    )
-    database.create_table(
-        TableSchema(
-            "f",
-            [
-                Column("k", INTEGER, nullable=False),
-                Column("seq", INTEGER, nullable=False),
-                Column("v", INTEGER),
-            ],
-            primary_key=("k", "seq"),
-        ),
-        rows=[
-            (k, seq, rng.randint(0, 99))
-            for k in range(50)
-            for seq in range(rng.randint(1, 4))
-        ],
-    )
-    database.create_index(Index.on("d_k", "d", ["k"], unique=True, clustered=True))
-    database.create_index(Index.on("f_k", "f", ["k"], clustered=True))
-    return database
+    return build_audit_database()
 
 
-QUERIES = [
-    "select k, grp from d where grp = 3 order by k",
-    "select d.k, d.grp, f.v from d, f where d.k = f.k order by d.k",
-    "select d.grp, count(*) as n from d, f where d.k = f.k group by d.grp",
-    "select d.k, f.seq, f.v from d, f where d.k = f.k and d.k = 5",
-    "select distinct grp from d order by grp",
-    "select d.k, f.v from d left join f on d.k = f.k order by d.k",
-]
-
-CONFIGS = [
-    OptimizerConfig(),
-    OptimizerConfig(enable_hash_join=False, enable_hash_group_by=False),
-]
+CONFIGS = audit_matrix()
 
 
-def walk(node: PlanNode):
-    yield node
-    for child in node.children:
-        yield from walk(child)
-
-
-def marker(row, positions):
-    return tuple(sort_key(row[p]) for p in positions)
-
-
-def check_node(db, node: PlanNode):
-    # (Re)execute just this subtree.
-    operator = build_operator(node, db)
-    rows = operator.execute(ExecutionContext(db))
-    schema = node.properties.schema
-    properties = node.properties
-
-    if properties.key_property.one_record:
-        assert len(rows) <= 1, f"one-record violated at {node.describe()}"
-    for key in properties.key_property.keys:
-        if not all(column in schema for column in key):
-            continue  # key expressed on equivalence heads outside schema
-        positions = [schema.position(column) for column in key]
-        markers = [marker(row, positions) for row in rows]
-        assert len(markers) == len(set(markers)), (
-            f"key {sorted(map(str, key))} not unique at {node.describe()}"
-        )
-
-    for dependency in properties.fds:
-        head = list(dependency.head)
-        tail = list(dependency.tail)
-        if not all(c in schema for c in head + tail):
-            continue
-        head_positions = [schema.position(c) for c in head]
-        tail_positions = [schema.position(c) for c in tail]
-        mapping = {}
-        for row in rows:
-            key = marker(row, head_positions)
-            value = marker(row, tail_positions)
-            previous = mapping.setdefault(key, value)
-            assert previous == value, (
-                f"FD {dependency} violated at {node.describe()}"
-            )
-
-    for column in properties.constants:
-        if column not in schema:
-            continue
-        position = schema.position(column)
-        values = {sort_key(row[position]) for row in rows}
-        assert len(values) <= 1, (
-            f"constant {column} not constant at {node.describe()}"
-        )
-
-    if not properties.order.is_empty():
-        plan_keys = [
-            (
-                schema.position(key.column),
-                key.direction is SortDirection.DESC,
-            )
-            for key in properties.order
-            if key.column in schema
-        ]
-        markers_sequence = [
-            tuple(sort_key(row[p], d) for p, d in plan_keys) for row in rows
-        ]
-        assert markers_sequence == sorted(markers_sequence), (
-            f"order property {properties.order} violated at "
-            f"{node.describe()}"
-        )
-
-
-@pytest.mark.parametrize("config_index", range(len(CONFIGS)))
-@pytest.mark.parametrize("sql", QUERIES)
-def test_plan_properties_hold_on_data(db, sql, config_index):
-    plan = plan_query(db, sql, config=CONFIGS[config_index])
-    for node in walk(plan.root):
-        check_node(db, node)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("sql", AUDIT_QUERIES)
+def test_plan_properties_hold_on_data(db, sql, config_name):
+    plan = plan_query(db, sql, config=CONFIGS[config_name])
+    violations = audit_plan(db, plan)
+    assert not violations, "\n".join(violations)

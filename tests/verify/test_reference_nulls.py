@@ -1,0 +1,72 @@
+"""Pin the NULL-ordering convention on both sides of the diff.
+
+One documented convention everywhere
+(:func:`repro.sqltypes.values.sort_key`): NULLs sort *after* all
+non-NULL values ascending and *first* descending (DB2 sorts NULLs
+high). The reference evaluator and the executor must both honor it — if
+either drifted, differential fuzzing would report phantom mismatches or,
+worse, agree on the wrong order.
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    OptimizerConfig,
+    TableSchema,
+    run_query,
+)
+from repro.sqltypes import INTEGER
+from repro.sqltypes.values import sort_key
+from repro.verify.reference import reference_query
+
+CONFIGS = [OptimizerConfig(), OptimizerConfig.disabled()]
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("x", INTEGER, nullable=False), Column("y", INTEGER)],
+            primary_key=("x",),
+        ),
+        rows=[(1, 30), (2, None), (3, 10), (4, None), (5, 20)],
+    )
+    return database
+
+
+def test_sort_key_places_nulls_high():
+    values = [None, 5, None, -7, 0]
+    ascending = sorted(values, key=sort_key)
+    assert ascending == [-7, 0, 5, None, None]
+    descending = sorted(values, key=lambda v: sort_key(v, True))
+    assert descending == [None, None, 5, 0, -7]
+
+
+def test_reference_nulls_last_ascending(db):
+    rows = reference_query(db, "select y from t order by y")
+    assert rows == [(10,), (20,), (30,), (None,), (None,)]
+
+
+def test_reference_nulls_first_descending(db):
+    rows = reference_query(db, "select y from t order by y desc")
+    assert rows == [(None,), (None,), (30,), (20,), (10,)]
+
+
+@pytest.mark.parametrize("config_index", range(len(CONFIGS)))
+def test_executor_agrees_with_reference_on_null_placement(
+    db, config_index
+):
+    config = CONFIGS[config_index]
+    for sql in (
+        "select y from t order by y",
+        "select y from t order by y desc",
+        "select y, x from t order by y desc, x",
+    ):
+        assert (
+            run_query(db, sql, config=config).rows
+            == reference_query(db, sql)
+        ), sql
