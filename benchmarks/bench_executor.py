@@ -1,0 +1,97 @@
+"""Executor micro-benchmarks: compiled kernels vs the interpreter.
+
+Operator-level throughput on TPC-D data (scan+filter, hash-join
+build/probe, sort), each parametrized over the two executor engines so
+a regression in either the kernel compiler or the batched operator
+loops shows up here before it moves the end-to-end numbers in
+``python -m repro.bench exec_ops``.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core import OrderSpec
+from repro.core.ordering import OrderKey, SortDirection
+from repro.executor import (
+    ExecutionContext,
+    FilterOp,
+    HashJoinOp,
+    MODE_COMPILED,
+    MODE_INTERPRETED,
+    SortOp,
+    TableScanOp,
+)
+from repro.expr import Comparison, ComparisonOp, col, lit
+from repro.expr.schema import RowSchema
+
+MODES = (MODE_COMPILED, MODE_INTERPRETED)
+
+
+def table_schema(db, table, alias):
+    return RowSchema(
+        [col(alias, column.name) for column in db.catalog.table(table).columns]
+    )
+
+
+def scan(db, table, alias=None):
+    alias = alias or table
+    return TableScanOp(table, alias, table_schema(db, table, alias))
+
+
+def drain(operator, db, mode):
+    context = ExecutionContext(db, mode=mode)
+    total = 0
+    for batch in operator.batches(context):
+        total += len(batch)
+    return total
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_filter_throughput(benchmark, tpcd_db, mode):
+    """Selective date predicate over the lineitem scan."""
+    predicate = Comparison(
+        ComparisonOp.GT,
+        col("lineitem", "l_shipdate"),
+        lit(datetime.date(1995, 3, 15)),
+    )
+    operator = FilterOp(scan(tpcd_db, "lineitem"), predicate)
+    rows = benchmark(lambda: drain(operator, tpcd_db, mode))
+    assert rows > 0
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["rows"] = rows
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_hash_join_build_probe(benchmark, tpcd_db, mode):
+    """Build on orders, probe with lineitem (the Q3 join core)."""
+
+    def run():
+        operator = HashJoinOp(
+            scan(tpcd_db, "lineitem"),
+            scan(tpcd_db, "orders"),
+            outer_keys=[col("lineitem", "l_orderkey")],
+            inner_keys=[col("orders", "o_orderkey")],
+        )
+        return drain(operator, tpcd_db, mode)
+
+    rows = benchmark(run)
+    assert rows > 0
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["rows"] = rows
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_sort_throughput(benchmark, tpcd_db, mode):
+    """Two-column mixed-direction sort of the orders table."""
+    order = OrderSpec(
+        [
+            OrderKey(col("orders", "o_orderdate"), SortDirection.DESC),
+            OrderKey(col("orders", "o_custkey")),
+        ]
+    )
+    operator = SortOp(scan(tpcd_db, "orders"), order)
+    rows = benchmark(lambda: drain(operator, tpcd_db, mode))
+    assert rows > 0
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["rows"] = rows

@@ -34,6 +34,8 @@ class QueryResult:
     io_stats: IoStats
     simulated_io_ms: float
     spill_pages: int
+    exec_mode: str = "compiled"
+    analyzed: Optional[str] = None
 
     @property
     def simulated_elapsed_ms(self) -> float:
@@ -61,11 +63,14 @@ def run_query(
     cost_model: Optional[CostModel] = None,
     cold_cache: bool = False,
     parameters: Optional[dict] = None,
+    mode: Optional[str] = None,
 ) -> QueryResult:
     """Optimize and execute ``sql``, measuring real and simulated time.
 
     ``parameters`` binds host variables (``:name`` in the SQL text); the
     plan is reusable across bindings — re-run with :func:`execute`.
+    ``mode`` selects the executor engine (``compiled``/``interpreted``),
+    defaulting to the REPRO_EXEC env var.
 
     A leading ``EXPLAIN`` keyword plans the query without executing it
     and returns the plan rendering, one row per line (with per-node
@@ -86,7 +91,9 @@ def run_query(
             spill_pages=0,
         )
     plan = plan_query(database, sql, config, cost_model)
-    return execute(database, plan, cold_cache=cold_cache, parameters=parameters)
+    return execute(
+        database, plan, cold_cache=cold_cache, parameters=parameters, mode=mode
+    )
 
 
 def execute(
@@ -94,10 +101,23 @@ def execute(
     plan: Plan,
     cold_cache: bool = False,
     parameters: Optional[dict] = None,
+    context: Optional[ExecutionContext] = None,
+    mode: Optional[str] = None,
 ) -> QueryResult:
-    """Execute an existing plan, measuring real and simulated time."""
+    """Execute an existing plan, measuring real and simulated time.
+
+    Pass ``context`` to control batch size / engine mode directly, or
+    just ``mode`` for an engine switch with default settings. The
+    per-operator runtime counters are rendered into ``analyzed``
+    (``explain(analyze=...)`` form).
+    """
     database.reset_io(cold=cold_cache)
-    context = ExecutionContext(database)
+    if context is None:
+        context = (
+            ExecutionContext(database)
+            if mode is None
+            else ExecutionContext(database, mode=mode)
+        )
     operator = build_executor(plan, database, parameters)
     started = time.perf_counter()
     rows = operator.execute(context)
@@ -111,4 +131,6 @@ def execute(
         io_stats=stats,
         simulated_io_ms=context.simulated_io_ms(),
         spill_pages=context.spill_pages,
+        exec_mode=context.mode,
+        analyzed=operator.explain(analyze=context),
     )

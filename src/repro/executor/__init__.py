@@ -1,19 +1,37 @@
-"""Physical execution engine (iterator model).
+"""Physical execution engine (batched iterator model).
 
-Operators pull tuples from their children; scans charge page accesses to
-the database's buffer pool, so a query's simulated I/O pattern falls out
-of actually running it. Sorting, merging, hashing, and aggregation are
-all real — benchmark elapsed times measure genuine work.
+Operators pull batches of tuples from their children (``rows()`` is a
+thin adapter); scans charge page accesses to the database's buffer pool,
+so a query's simulated I/O pattern falls out of actually running it.
+Sorting, merging, hashing, and aggregation are all real — benchmark
+elapsed times measure genuine work.
+
+Two expression engines share the operator tree: ``compiled`` (closure
+kernels from :mod:`repro.expr.compile`, the default) and
+``interpreted`` (the tree-walking reference; ``REPRO_EXEC=interpreted``
+or ``ExecutionContext(mode=...)`` selects it). Results are identical in
+both modes; per-operator rows/batches/time land in
+``ExecutionContext.metrics`` and render via ``explain(analyze=...)``.
 """
 
-from repro.executor.context import ExecutionContext
+from repro.executor.context import (
+    DEFAULT_BATCH_SIZE,
+    MODE_COMPILED,
+    MODE_INTERPRETED,
+    ExecutionContext,
+    OperatorMetrics,
+    default_exec_mode,
+)
 from repro.executor.operators import (
     FilterOp,
     IndexScanOp,
+    LimitOp,
+    MaterializeOp,
     PhysicalOperator,
     ProjectOp,
     SortOp,
     TableScanOp,
+    TopNSortOp,
 )
 from repro.executor.joins import (
     HashJoinOp,
@@ -30,12 +48,20 @@ from repro.executor.aggregate import (
 
 __all__ = [
     "ExecutionContext",
+    "OperatorMetrics",
+    "MODE_COMPILED",
+    "MODE_INTERPRETED",
+    "DEFAULT_BATCH_SIZE",
+    "default_exec_mode",
     "PhysicalOperator",
     "TableScanOp",
     "IndexScanOp",
     "FilterOp",
     "ProjectOp",
     "SortOp",
+    "LimitOp",
+    "TopNSortOp",
+    "MaterializeOp",
     "NestedLoopJoinOp",
     "NestedLoopIndexJoinOp",
     "MergeJoinOp",

@@ -1,11 +1,35 @@
-"""Aggregation and duplicate elimination operators."""
+"""Aggregation and duplicate elimination operators.
+
+Batched like the rest of the executor: group markers (total-order
+``sort_key`` tuples) come from batch kernels in compiled mode and
+per-row closures in interpreted mode, and each aggregate's argument
+expression is prepared once per execution — a compiled closure or a
+counted interpreter thunk — instead of being re-walked per row.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.executor.context import ExecutionContext
-from repro.executor.operators import PhysicalOperator, Row
+from repro.executor.operators import (
+    Batch,
+    PhysicalOperator,
+    Row,
+    chunked,
+    count_interpreted,
+)
+from repro.expr.compile import compile_expression, ordered_key_kernel
 from repro.expr.evaluate import evaluate
 from repro.expr.nodes import Aggregate, AggregateKind, ColumnRef
 from repro.expr.schema import RowSchema
@@ -60,6 +84,19 @@ class _Accumulator:
 _COUNT_STAR = object()
 
 
+def _marker_kernel(
+    context: ExecutionContext, positions: Sequence[int]
+) -> Callable[[Batch], List[Tuple[Any, ...]]]:
+    """Total-order group markers (sort_key tuples) per batch."""
+    if context.compiled:
+        return ordered_key_kernel([(position, False) for position in positions])
+    positions = tuple(positions)
+    return lambda batch: [
+        tuple(sort_key(row[position]) for position in positions)
+        for row in batch
+    ]
+
+
 class _GroupByBase(PhysicalOperator):
     """Shared plumbing for sort- and hash-based GROUP BY.
 
@@ -93,17 +130,29 @@ class _GroupByBase(PhysicalOperator):
             for _name, aggregate in self.aggregates
         ]
 
-    def _feed(self, accumulators: List[_Accumulator], row: Row) -> None:
+    def _argument_evaluators(
+        self, context: ExecutionContext
+    ) -> List[Callable[[Row], Any]]:
+        """One value-producing callable per aggregate (COUNT(*) yields
+        the sentinel), built once per execution."""
         child_schema = self.child.schema
-        for accumulator, (_name, aggregate) in zip(
-            accumulators, self.aggregates
-        ):
-            if aggregate.argument is None:
-                accumulator.add(_COUNT_STAR)
+        evaluators: List[Callable[[Row], Any]] = []
+        for _name, aggregate in self.aggregates:
+            argument = aggregate.argument
+            if argument is None:
+                evaluators.append(lambda row: _COUNT_STAR)
+            elif context.compiled:
+                evaluators.append(compile_expression(argument, child_schema))
             else:
-                accumulator.add(
-                    evaluate(aggregate.argument, child_schema, row)
-                )
+
+                def interpreted(
+                    row: Row, argument=argument, schema=child_schema
+                ) -> Any:
+                    count_interpreted()
+                    return evaluate(argument, schema, row)
+
+                evaluators.append(interpreted)
+        return evaluators
 
     def _output_row(
         self, group_values: Tuple[Any, ...], accumulators: List[_Accumulator]
@@ -118,21 +167,29 @@ class SortedGroupByOp(_GroupByBase):
     permutation of the grouping columns — Section 7's degrees of
     freedom)."""
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._grouped(context), context.batch_size)
+
+    def _grouped(self, context: ExecutionContext) -> Iterator[Row]:
+        evaluators = self._argument_evaluators(context)
+        markers_of = _marker_kernel(context, self._group_positions)
+        positions = tuple(self._group_positions)
         current_group: Optional[Tuple[Any, ...]] = None
         current_raw: Optional[Tuple[Any, ...]] = None
         accumulators: List[_Accumulator] = []
-        positions = self._group_positions
-        for row in self.child.rows(context):
-            raw = tuple(row[position] for position in positions)
-            marker = tuple(sort_key(value) for value in raw)
-            if current_group is None or marker != current_group:
-                if current_group is not None:
-                    yield self._output_row(current_raw, accumulators)
-                current_group = marker
-                current_raw = raw
-                accumulators = self._new_accumulators()
-            self._feed(accumulators, row)
+        for batch in self.child.batches(context):
+            markers = markers_of(batch)
+            for marker, row in zip(markers, batch):
+                if current_group is None or marker != current_group:
+                    if current_group is not None:
+                        yield self._output_row(current_raw, accumulators)
+                    current_group = marker
+                    current_raw = tuple(
+                        row[position] for position in positions
+                    )
+                    accumulators = self._new_accumulators()
+                for accumulator, evaluator in zip(accumulators, evaluators):
+                    accumulator.add(evaluator(row))
         if current_group is not None:
             yield self._output_row(current_raw, accumulators)
 
@@ -144,19 +201,29 @@ class SortedGroupByOp(_GroupByBase):
 class HashGroupByOp(_GroupByBase):
     """Hash-based GROUP BY: no input order required, none produced."""
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
-        groups: Dict[Tuple[Any, ...], Tuple[Tuple[Any, ...], List[_Accumulator]]] = {}
-        positions = self._group_positions
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._grouped(context), context.batch_size)
+
+    def _grouped(self, context: ExecutionContext) -> Iterator[Row]:
+        evaluators = self._argument_evaluators(context)
+        markers_of = _marker_kernel(context, self._group_positions)
+        positions = tuple(self._group_positions)
+        groups: Dict[
+            Tuple[Any, ...], Tuple[Tuple[Any, ...], List[_Accumulator]]
+        ] = {}
+        get = groups.get
         count = 0
-        for row in self.child.rows(context):
-            raw = tuple(row[position] for position in positions)
-            marker = tuple(sort_key(value) for value in raw)
-            entry = groups.get(marker)
-            if entry is None:
-                entry = (raw, self._new_accumulators())
-                groups[marker] = entry
-            self._feed(entry[1], row)
-            count += 1
+        for batch in self.child.batches(context):
+            markers = markers_of(batch)
+            count += len(batch)
+            for marker, row in zip(markers, batch):
+                entry = get(marker)
+                if entry is None:
+                    raw = tuple(row[position] for position in positions)
+                    entry = (raw, self._new_accumulators())
+                    groups[marker] = entry
+                for accumulator, evaluator in zip(entry[1], evaluators):
+                    accumulator.add(evaluator(row))
         context.rows_hashed += count
         if len(groups) > context.sort_memory_rows:
             context.charge_spill(len(groups))
@@ -182,13 +249,20 @@ class SortedDistinctOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        markers_of = _marker_kernel(
+            context, range(len(self.child.schema))
+        )
         previous: Optional[Tuple[Any, ...]] = None
-        for row in self.child.rows(context):
-            marker = tuple(sort_key(value) for value in row)
-            if previous is None or marker != previous:
-                previous = marker
-                yield row
+        for batch in self.child.batches(context):
+            markers = markers_of(batch)
+            kept: Batch = []
+            for marker, row in zip(markers, batch):
+                if previous is None or marker != previous:
+                    previous = marker
+                    kept.append(row)
+            if kept:
+                yield kept
 
     def label(self) -> str:
         return "distinct (sorted)"
@@ -204,14 +278,22 @@ class HashDistinctOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        markers_of = _marker_kernel(
+            context, range(len(self.child.schema))
+        )
         seen: Set[Tuple[Any, ...]] = set()
-        for row in self.child.rows(context):
-            marker = tuple(sort_key(value) for value in row)
-            if marker in seen:
-                continue
-            seen.add(marker)
-            yield row
+        add = seen.add
+        for batch in self.child.batches(context):
+            markers = markers_of(batch)
+            kept: Batch = []
+            for marker, row in zip(markers, batch):
+                if marker in seen:
+                    continue
+                add(marker)
+                kept.append(row)
+            if kept:
+                yield kept
         context.rows_hashed += len(seen)
 
     def label(self) -> str:

@@ -2,9 +2,61 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+from typing import Dict
 
+from repro.errors import ExecutionError
 from repro.storage import Database
+
+# Executor engine modes. ``compiled`` (the default) evaluates
+# expressions through closures from :mod:`repro.expr.compile`;
+# ``interpreted`` routes every expression through the tree-walking
+# interpreter (:mod:`repro.expr.evaluate`) and is kept as the semantic
+# reference — both modes must produce byte-identical results.
+MODE_COMPILED = "compiled"
+MODE_INTERPRETED = "interpreted"
+_MODES = (MODE_COMPILED, MODE_INTERPRETED)
+
+DEFAULT_BATCH_SIZE = 1024
+
+# Sentinel: resolve per mode in __post_init__ (compiled gets
+# DEFAULT_BATCH_SIZE; interpreted gets 1 — the pre-batching Volcano
+# row-at-a-time configuration it exists to preserve).
+BATCH_SIZE_AUTO = 0
+
+
+def default_exec_mode() -> str:
+    """Engine mode from the REPRO_EXEC env var (default: compiled)."""
+    mode = os.environ.get("REPRO_EXEC", MODE_COMPILED).strip().lower()
+    if mode not in _MODES:
+        raise ExecutionError(
+            f"REPRO_EXEC={mode!r} is not a known executor mode; "
+            f"choose one of {_MODES}"
+        )
+    return mode
+
+
+@dataclass
+class OperatorMetrics:
+    """Runtime counters for one operator within one execution.
+
+    ``seconds`` is cumulative wall-clock time spent producing this
+    operator's batches *including* its children (the time is measured
+    around the operator's own batch generator, which pulls from the
+    children inside it).
+    """
+
+    label: str = ""
+    rows: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        return (
+            f"rows={self.rows} batches={self.batches} "
+            f"time={self.seconds * 1000.0:.1f}ms"
+        )
 
 
 @dataclass
@@ -17,6 +69,15 @@ class ExecutionContext:
             simulated spill I/O.
         spill_pages: simulated pages written+read by spilling operators.
         rows_sorted / rows_hashed: work counters for introspection.
+        batch_size: rows per batch in the ``batches()`` protocol.
+            Defaults per mode: DEFAULT_BATCH_SIZE when compiled, 1
+            (row-at-a-time, the pre-batching engine's behaviour) when
+            interpreted; pass an explicit value to override either.
+        mode: ``compiled`` (closure kernels) or ``interpreted``
+            (tree-walking reference); defaults to the REPRO_EXEC env
+            var, falling back to compiled.
+        metrics: per-operator runtime counters keyed by operator object,
+            rendered by ``PhysicalOperator.explain(analyze=context)``.
     """
 
     database: Database
@@ -24,6 +85,32 @@ class ExecutionContext:
     spill_pages: int = 0
     rows_sorted: int = 0
     rows_hashed: int = 0
+    batch_size: int = BATCH_SIZE_AUTO
+    mode: str = field(default_factory=default_exec_mode)
+    metrics: Dict[object, OperatorMetrics] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ExecutionError(
+                f"unknown executor mode {self.mode!r}; choose one of {_MODES}"
+            )
+        if self.batch_size == BATCH_SIZE_AUTO:
+            self.batch_size = (
+                DEFAULT_BATCH_SIZE if self.mode == MODE_COMPILED else 1
+            )
+        if self.batch_size < 1:
+            raise ExecutionError("batch_size must be positive")
+
+    @property
+    def compiled(self) -> bool:
+        return self.mode == MODE_COMPILED
+
+    def metrics_for(self, operator: object) -> OperatorMetrics:
+        entry = self.metrics.get(operator)
+        if entry is None:
+            entry = OperatorMetrics(label=operator.label())
+            self.metrics[operator] = entry
+        return entry
 
     def charge_spill(self, rows: int, rows_per_page: int = 64) -> None:
         """Record spill I/O for an operator overflowing memory."""

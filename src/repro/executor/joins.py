@@ -6,20 +6,134 @@ probes walk the inner B+-tree monotonically, so page accesses register
 as buffer hits / sequential misses rather than random misses — the
 executor does not special-case this, it simply falls out of the access
 pattern meeting the buffer pool.
+
+All joins run batch-at-a-time (see :mod:`repro.executor.operators`).
+Join keys are extracted by compiled kernels in ``compiled`` mode and by
+per-row closures in ``interpreted`` mode; residual predicates follow the
+context's engine the same way. The index nested-loop join hoists its
+``encode_index_key`` encoder out of the outer-row loop and caches the
+last encoded key, so an ordered outer stream with duplicate join values
+encodes each distinct key once (``exec.index_probe.*`` counters track
+this).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.instrument import COUNTERS
 from repro.errors import ExecutionError
 from repro.executor.context import ExecutionContext
-from repro.executor.operators import PhysicalOperator, Row
+from repro.executor.operators import (
+    Batch,
+    PhysicalOperator,
+    Row,
+    chunked,
+    count_interpreted,
+)
+from repro.expr.compile import (
+    compile_predicate,
+    join_key_kernel,
+    nullable_raw_key_kernel,
+)
 from repro.expr.evaluate import evaluate_predicate
 from repro.expr.nodes import ColumnRef, Expression
 from repro.expr.schema import RowSchema
 from repro.sqltypes import is_null, sort_key
 from repro.storage.database import encode_index_key
+
+KeyList = List[Optional[Tuple[Any, ...]]]
+
+
+def residual_matcher(
+    residual: Optional[Expression],
+    schema: RowSchema,
+    context: ExecutionContext,
+) -> Optional[Callable[[Row], bool]]:
+    """Engine-switched residual predicate over joined rows (or None)."""
+    if residual is None:
+        return None
+    if context.compiled:
+        return compile_predicate(residual, schema)
+
+    def interpreted(row: Row) -> bool:
+        count_interpreted()
+        return evaluate_predicate(residual, schema, row)
+
+    return interpreted
+
+
+def make_probe_encoder(
+    directions: Sequence[Any],
+) -> Callable[[Tuple[Any, ...]], Any]:
+    """Index-probe key encoder, built once per probe loop.
+
+    Caches the most recent (values, key) pair: an ordered outer stream
+    re-probing the same join value — the paper's ordered nested-loop
+    join — skips re-encoding entirely. ``exec.index_probe.probes`` and
+    ``exec.index_probe.encodes`` count calls vs actual encodings.
+    """
+    directions = list(directions)
+    last_values: Optional[Tuple[Any, ...]] = None
+    last_key: Any = None
+
+    def encode(values: Tuple[Any, ...]) -> Any:
+        nonlocal last_values, last_key
+        COUNTERS["exec.index_probe.probes"] = (
+            COUNTERS.get("exec.index_probe.probes", 0) + 1
+        )
+        if values == last_values:
+            return last_key
+        COUNTERS["exec.index_probe.encodes"] = (
+            COUNTERS.get("exec.index_probe.encodes", 0) + 1
+        )
+        last_values = values
+        last_key = encode_index_key(values, directions)
+        return last_key
+
+    return encode
+
+
+def _null_free_keys(
+    context: ExecutionContext, positions: Sequence[int]
+) -> Callable[[Batch], KeyList]:
+    """Raw-tuple keys per batch, None where a key column is NULL."""
+    if context.compiled:
+        return nullable_raw_key_kernel(positions)
+    positions = tuple(positions)
+
+    def per_row(batch: Batch) -> KeyList:
+        keys: KeyList = []
+        for row in batch:
+            values = tuple(row[position] for position in positions)
+            keys.append(
+                None if any(is_null(value) for value in values) else values
+            )
+        return keys
+
+    return per_row
+
+
+def _ordered_keys(
+    context: ExecutionContext, positions: Sequence[int]
+) -> Callable[[Batch], KeyList]:
+    """Sort-key tuples per batch, None where a key column is NULL."""
+    if context.compiled:
+        return join_key_kernel(positions)
+    positions = tuple(positions)
+
+    def per_row(batch: Batch) -> KeyList:
+        keys: KeyList = []
+        for row in batch:
+            values = [row[position] for position in positions]
+            keys.append(
+                None
+                if any(is_null(value) for value in values)
+                else tuple(sort_key(value) for value in values)
+            )
+        return keys
+
+    return per_row
 
 
 class _BinaryJoin(PhysicalOperator):
@@ -36,16 +150,6 @@ class _BinaryJoin(PhysicalOperator):
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.outer, self.inner)
-
-    def _emit(
-        self, context: ExecutionContext, outer_row: Row, inner_row: Row
-    ) -> Optional[Row]:
-        joined = outer_row + inner_row
-        if self.residual is not None and not evaluate_predicate(
-            self.residual, self.schema, joined
-        ):
-            return None
-        return joined
 
 
 class NestedLoopJoinOp(_BinaryJoin):
@@ -66,18 +170,24 @@ class NestedLoopJoinOp(_BinaryJoin):
         super().__init__(outer, inner, residual)
         self.left_outer = left_outer
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
-        inner_rows = list(self.inner.rows(context))
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._joined(context), context.batch_size)
+
+    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
+        matcher = residual_matcher(self.residual, self.schema, context)
+        inner_rows = self.inner.execute(context)
         padding = (None,) * len(self.inner.schema)
-        for outer_row in self.outer.rows(context):
-            matched = False
-            for inner_row in inner_rows:
-                joined = self._emit(context, outer_row, inner_row)
-                if joined is not None:
-                    matched = True
-                    yield joined
-            if self.left_outer and not matched:
-                yield outer_row + padding
+        left_outer = self.left_outer
+        for batch in self.outer.batches(context):
+            for outer_row in batch:
+                matched = False
+                for inner_row in inner_rows:
+                    joined = outer_row + inner_row
+                    if matcher is None or matcher(joined):
+                        matched = True
+                        yield joined
+                if left_outer and not matched:
+                    yield outer_row + padding
 
     def label(self) -> str:
         condition = f" [{self.residual}]" if self.residual is not None else ""
@@ -121,7 +231,10 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.outer,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._joined(context), context.batch_size)
+
+    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
         store = context.database.store(self.table_name)
         index, tree = store.indexes[self.index_name]
         directions = [
@@ -132,27 +245,26 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
             self.outer.schema.position(column)
             for column in self.probe_columns
         ]
-        schema = self.schema
-        residual = self.residual
+        keys_of = _null_free_keys(context, positions)
+        encode = make_probe_encoder(directions)
+        matcher = residual_matcher(self.residual, self.schema, context)
+        scan_range = tree.scan_range
+        fetch = store.heap.fetch
         padding = (None,) * len(self.inner_schema)
-        for outer_row in self.outer.rows(context):
-            values = [outer_row[position] for position in positions]
-            matched = False
-            if not any(is_null(value) for value in values):
-                probe_key = encode_index_key(values, directions)
-                for _key, rid in tree.scan_range(
-                    low=probe_key, high=probe_key
-                ):
-                    inner_row = store.heap.fetch(rid)
-                    joined = outer_row + inner_row
-                    if residual is not None and not evaluate_predicate(
-                        residual, schema, joined
-                    ):
-                        continue
-                    matched = True
-                    yield joined
-            if self.left_outer and not matched:
-                yield outer_row + padding
+        left_outer = self.left_outer
+        for batch in self.outer.batches(context):
+            keys = keys_of(batch)
+            for outer_row, values in zip(batch, keys):
+                matched = False
+                if values is not None:
+                    probe_key = encode(values)
+                    for _key, rid in scan_range(low=probe_key, high=probe_key):
+                        joined = outer_row + fetch(rid)
+                        if matcher is None or matcher(joined):
+                            matched = True
+                            yield joined
+                if left_outer and not matched:
+                    yield outer_row + padding
 
     def label(self) -> str:
         kind = "ordered nested-loop join" if self.ordered else "nested-loop join"
@@ -165,10 +277,23 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
         )
 
 
+def _keyed_rows(
+    operator: PhysicalOperator,
+    keys_of: Callable[[Batch], KeyList],
+    context: ExecutionContext,
+) -> Iterator[Tuple[Optional[Tuple[Any, ...]], Row]]:
+    """Flatten an operator's batches into (key, row) pairs, computing
+    keys one batch at a time."""
+    for batch in operator.batches(context):
+        yield from zip(keys_of(batch), batch)
+
+
 class MergeJoinOp(_BinaryJoin):
     """Sort-merge equi-join; inputs must arrive ordered on the join keys.
 
     Handles duplicate keys on both sides by buffering the inner group.
+    Sort keys are computed once per row per side (batch kernels), never
+    re-derived during group comparisons.
     """
 
     def __init__(
@@ -185,64 +310,58 @@ class MergeJoinOp(_BinaryJoin):
         self.outer_keys = list(outer_keys)
         self.inner_keys = list(inner_keys)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._joined(context), context.batch_size)
+
+    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
         outer_positions = [
             self.outer.schema.position(column) for column in self.outer_keys
         ]
         inner_positions = [
             self.inner.schema.position(column) for column in self.inner_keys
         ]
-
-        def outer_key(row: Row) -> Optional[Tuple[Any, ...]]:
-            values = [row[position] for position in outer_positions]
-            if any(is_null(value) for value in values):
-                return None
-            return tuple(sort_key(value) for value in values)
-
-        def inner_key(row: Row) -> Optional[Tuple[Any, ...]]:
-            values = [row[position] for position in inner_positions]
-            if any(is_null(value) for value in values):
-                return None
-            return tuple(sort_key(value) for value in values)
-
-        outer_iter = self.outer.rows(context)
-        inner_iter = self.inner.rows(context)
-        outer_row = next(outer_iter, None)
-        inner_row = next(inner_iter, None)
+        matcher = residual_matcher(self.residual, self.schema, context)
+        outer_iter = _keyed_rows(
+            self.outer, _ordered_keys(context, outer_positions), context
+        )
+        inner_iter = _keyed_rows(
+            self.inner, _ordered_keys(context, inner_positions), context
+        )
+        outer_entry = next(outer_iter, None)
+        inner_entry = next(inner_iter, None)
         group_key: Optional[Tuple[Any, ...]] = None
         group_rows: List[Row] = []
-        while outer_row is not None:
-            key = outer_key(outer_row)
+        while outer_entry is not None:
+            key, outer_row = outer_entry
             if key is None:
-                outer_row = next(outer_iter, None)
+                outer_entry = next(outer_iter, None)
                 continue
             if group_key is not None and key == group_key:
                 for buffered in group_rows:
-                    joined = self._emit(context, outer_row, buffered)
-                    if joined is not None:
+                    joined = outer_row + buffered
+                    if matcher is None or matcher(joined):
                         yield joined
-                outer_row = next(outer_iter, None)
+                outer_entry = next(outer_iter, None)
                 continue
             # Advance the inner side to this key.
-            while inner_row is not None:
-                ikey = inner_key(inner_row)
+            while inner_entry is not None:
+                ikey = inner_entry[0]
                 if ikey is None or ikey < key:
-                    inner_row = next(inner_iter, None)
+                    inner_entry = next(inner_iter, None)
                     continue
                 break
             group_key, group_rows = key, []
-            while inner_row is not None:
-                ikey = inner_key(inner_row)
-                if ikey == key:
-                    group_rows.append(inner_row)
-                    inner_row = next(inner_iter, None)
+            while inner_entry is not None:
+                if inner_entry[0] == key:
+                    group_rows.append(inner_entry[1])
+                    inner_entry = next(inner_iter, None)
                     continue
                 break
             for buffered in group_rows:
-                joined = self._emit(context, outer_row, buffered)
-                if joined is not None:
+                joined = outer_row + buffered
+                if matcher is None or matcher(joined):
                     yield joined
-            outer_row = next(outer_iter, None)
+            outer_entry = next(outer_iter, None)
 
     def label(self) -> str:
         pairs = ", ".join(
@@ -271,36 +390,46 @@ class HashJoinOp(_BinaryJoin):
         self.inner_keys = list(inner_keys)
         self.left_outer = left_outer
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        yield from chunked(self._joined(context), context.batch_size)
+
+    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
         inner_positions = [
             self.inner.schema.position(column) for column in self.inner_keys
         ]
         outer_positions = [
             self.outer.schema.position(column) for column in self.outer_keys
         ]
+        matcher = residual_matcher(self.residual, self.schema, context)
+        build_keys = _null_free_keys(context, inner_positions)
+        probe_keys = _null_free_keys(context, outer_positions)
         table: dict = {}
+        setdefault = table.setdefault
         build_count = 0
-        for inner_row in self.inner.rows(context):
-            values = tuple(inner_row[position] for position in inner_positions)
-            if any(is_null(value) for value in values):
-                continue
-            table.setdefault(values, []).append(inner_row)
-            build_count += 1
+        for batch in self.inner.batches(context):
+            for values, inner_row in zip(build_keys(batch), batch):
+                if values is None:
+                    continue
+                setdefault(values, []).append(inner_row)
+                build_count += 1
         context.rows_hashed += build_count
         if build_count > context.sort_memory_rows:
             context.charge_spill(build_count)
         padding = (None,) * len(self.inner.schema)
-        for outer_row in self.outer.rows(context):
-            values = tuple(outer_row[position] for position in outer_positions)
-            matched = False
-            if not any(is_null(value) for value in values):
-                for inner_row in table.get(values, ()):
-                    joined = self._emit(context, outer_row, inner_row)
-                    if joined is not None:
-                        matched = True
-                        yield joined
-            if self.left_outer and not matched:
-                yield outer_row + padding
+        empty: Tuple[Row, ...] = ()
+        left_outer = self.left_outer
+        get = table.get
+        for batch in self.outer.batches(context):
+            for values, outer_row in zip(probe_keys(batch), batch):
+                matched = False
+                if values is not None:
+                    for inner_row in get(values, empty):
+                        joined = outer_row + inner_row
+                        if matcher is None or matcher(joined):
+                            matched = True
+                            yield joined
+                if left_outer and not matched:
+                    yield outer_row + padding
 
     def label(self) -> str:
         pairs = ", ".join(

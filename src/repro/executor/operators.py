@@ -1,12 +1,34 @@
-"""Leaf and unary physical operators: scans, filter, project, sort."""
+"""Leaf and unary physical operators: scans, filter, project, sort.
+
+Operators implement a batch-at-a-time protocol: ``_batches(context)``
+yields lists of row tuples (at most ``context.batch_size`` rows each);
+the public ``batches(context)`` wrapper adds per-operator runtime
+metrics (rows, batches, cumulative wall time) and ``rows(context)`` /
+``execute(context)`` are thin adapters over it.
+
+Expression work is engine-switched: in ``compiled`` mode predicates,
+projections, and sort keys run through closures and batch kernels from
+:mod:`repro.expr.compile`; in ``interpreted`` mode every record goes
+through the tree-walking interpreter (:mod:`repro.expr.evaluate`),
+which is kept as the semantic reference. Both must produce identical
+rows in identical order.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+import operator as operator_module
+import time
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.instrument import COUNTERS
 from repro.core.ordering import OrderSpec, SortDirection
 from repro.errors import ExecutionError
 from repro.executor.context import ExecutionContext
+from repro.expr.compile import (
+    ordered_key_kernel,
+    predicate_kernel,
+    projection_kernel,
+)
 from repro.expr.evaluate import evaluate, evaluate_predicate
 from repro.expr.nodes import ColumnRef, Expression
 from repro.expr.schema import RowSchema
@@ -14,20 +36,76 @@ from repro.sqltypes import sort_key
 from repro.storage.database import encode_index_key
 
 Row = Tuple[Any, ...]
+Batch = List[Row]
+
+
+def count_interpreted(rows: int = 1) -> None:
+    """Tally tree-walking expression evaluations (one per record per
+    expression). The execution counter-budget test pins this to zero in
+    compiled mode, so a kernel silently falling back to the interpreter
+    fails loudly."""
+    COUNTERS["exec.interpreted.evals"] = (
+        COUNTERS.get("exec.interpreted.evals", 0) + rows
+    )
+
+
+def chunked(rows: Iterable[Row], size: int) -> Iterator[Batch]:
+    """Group an iterable of rows into batches of at most ``size``."""
+    batch: Batch = []
+    append = batch.append
+    for row in rows:
+        append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
+def rechunk(rows: Sequence[Row], size: int) -> Iterator[Batch]:
+    """Batches over an in-memory row list (cheap slicing)."""
+    for start in range(0, len(rows), size):
+        yield list(rows[start : start + size])
 
 
 class PhysicalOperator:
-    """Base class: every operator exposes a schema and a row iterator."""
+    """Base class: every operator exposes a schema and batch/row iterators."""
 
     def __init__(self, schema: RowSchema):
         self.schema = schema
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        """Instrumented batch stream — the primary pull interface."""
+        metrics = context.metrics_for(self)
+        produce = self._batches(context)
+        perf_counter = time.perf_counter
+        while True:
+            started = perf_counter()
+            try:
+                batch = next(produce)
+            except StopIteration:
+                metrics.seconds += perf_counter() - started
+                return
+            metrics.seconds += perf_counter() - started
+            metrics.batches += 1
+            metrics.rows += len(batch)
+            yield batch
+
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         raise NotImplementedError
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        """Row-at-a-time adapter over :meth:`batches`."""
+        for batch in self.batches(context):
+            yield from batch
 
     def execute(self, context: ExecutionContext) -> List[Row]:
         """Drain the operator into a list."""
-        return list(self.rows(context))
+        out: List[Row] = []
+        for batch in self.batches(context):
+            out.extend(batch)
+        return out
 
     def children(self) -> Sequence["PhysicalOperator"]:
         return ()
@@ -35,10 +113,22 @@ class PhysicalOperator:
     def label(self) -> str:
         return type(self).__name__
 
-    def explain(self, indent: int = 0) -> str:
-        lines = [" " * indent + self.label()]
+    def explain(
+        self, indent: int = 0, analyze: Optional[ExecutionContext] = None
+    ) -> str:
+        """Render the operator tree; with ``analyze`` (an execution
+        context the tree ran under) each line carries that run's
+        rows/batches/cumulative-time counters."""
+        line = " " * indent + self.label()
+        if analyze is not None:
+            metrics = analyze.metrics.get(self)
+            line += (
+                f"  [{metrics.render()}]" if metrics is not None
+                else "  [not executed]"
+            )
+        lines = [line]
         for child in self.children():
-            lines.append(child.explain(indent + 2))
+            lines.append(child.explain(indent + 2, analyze))
         return "\n".join(lines)
 
 
@@ -50,10 +140,19 @@ class TableScanOp(PhysicalOperator):
         self.table_name = table_name
         self.alias = alias
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         store = context.database.store(self.table_name)
+        size = context.batch_size
+        batch: Batch = []
+        append = batch.append
         for _rid, row in store.heap.scan():
-            yield row
+            append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
 
     def label(self) -> str:
         return f"table scan {self.table_name} as {self.alias}"
@@ -90,7 +189,7 @@ class IndexScanOp(PhysicalOperator):
         self.high_inclusive = high_inclusive
         self.descending = descending
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         store = context.database.store(self.table_name)
         index, tree = store.indexes[self.index_name]
         directions = [column.direction for column in index.key]
@@ -104,6 +203,10 @@ class IndexScanOp(PhysicalOperator):
             if self.high is not None
             else None
         )
+        fetch = store.heap.fetch
+        size = context.batch_size
+        batch: Batch = []
+        append = batch.append
         for _key, rid in tree.scan_range(
             low=low_key,
             high=high_key,
@@ -111,7 +214,13 @@ class IndexScanOp(PhysicalOperator):
             high_inclusive=self.high_inclusive,
             descending=self.descending,
         ):
-            yield store.heap.fetch(rid)
+            append(fetch(rid))
+            if len(batch) >= size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
 
     def label(self) -> str:
         direction = " (backward)" if self.descending else ""
@@ -135,11 +244,24 @@ class FilterOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.compiled:
+            kernel = predicate_kernel(self.predicate, self.schema)
+            for batch in self.child.batches(context):
+                kept = kernel(batch)
+                if kept:
+                    yield kept
+            return
         predicate, schema = self.predicate, self.schema
-        for row in self.child.rows(context):
-            if evaluate_predicate(predicate, schema, row):
-                yield row
+        for batch in self.child.batches(context):
+            count_interpreted(len(batch))
+            kept = [
+                row
+                for row in batch
+                if evaluate_predicate(predicate, schema, row)
+            ]
+            if kept:
+                yield kept
 
     def label(self) -> str:
         return f"filter [{self.predicate}]"
@@ -163,28 +285,46 @@ class ProjectOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _simple_positions(self) -> Optional[List[int]]:
         child_schema = self.child.schema
-        simple_positions: Optional[List[int]] = []
+        positions: List[int] = []
         for expression in self.expressions:
             if (
                 isinstance(expression, ColumnRef)
                 and expression in child_schema
             ):
-                simple_positions.append(child_schema.position(expression))
+                positions.append(child_schema.position(expression))
             else:
-                simple_positions = None
-                break
-        if simple_positions is not None:
-            positions = simple_positions
-            for row in self.child.rows(context):
-                yield tuple(row[position] for position in positions)
+                return None
+        return positions
+
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        child_schema = self.child.schema
+        positions = self._simple_positions()
+        if positions is not None:
+            if len(positions) == 1:
+                only = positions[0]
+                getter = lambda row: (row[only],)  # noqa: E731
+            else:
+                getter = operator_module.itemgetter(*positions)
+            for batch in self.child.batches(context):
+                yield [getter(row) for row in batch]
             return
-        for row in self.child.rows(context):
-            yield tuple(
-                evaluate(expression, child_schema, row)
-                for expression in self.expressions
-            )
+        if context.compiled:
+            kernel = projection_kernel(self.expressions, child_schema)
+            for batch in self.child.batches(context):
+                yield kernel(batch)
+            return
+        expressions = self.expressions
+        for batch in self.child.batches(context):
+            count_interpreted(len(batch) * len(expressions))
+            yield [
+                tuple(
+                    evaluate(expression, child_schema, row)
+                    for expression in expressions
+                )
+                for row in batch
+            ]
 
     def label(self) -> str:
         inner = ", ".join(str(column) for column in self.schema.columns)
@@ -195,10 +335,7 @@ def make_sort_key_function(
     schema: RowSchema, order: OrderSpec
 ) -> Callable[[Row], Tuple[Any, ...]]:
     """Build a sort-key callable for records of ``schema``."""
-    plan = [
-        (schema.position(key.column), key.direction is SortDirection.DESC)
-        for key in order
-    ]
+    plan = sort_key_plan(schema, order)
 
     def key_of(row: Row) -> Tuple[Any, ...]:
         return tuple(
@@ -208,6 +345,30 @@ def make_sort_key_function(
     return key_of
 
 
+def sort_key_plan(
+    schema: RowSchema, order: OrderSpec
+) -> List[Tuple[int, bool]]:
+    """(position, descending) pairs for an order over ``schema``."""
+    return [
+        (schema.position(key.column), key.direction is SortDirection.DESC)
+        for key in order
+    ]
+
+
+def _batch_keys(
+    context: ExecutionContext,
+    schema: RowSchema,
+    order: OrderSpec,
+) -> Callable[[Batch], List[Tuple[Any, ...]]]:
+    """Batch sort-key computation: one compiled kernel call per batch in
+    compiled mode, the per-row key function in interpreted mode."""
+    plan = sort_key_plan(schema, order)
+    if context.compiled:
+        return ordered_key_kernel(plan)
+    key_of = make_sort_key_function(schema, order)
+    return lambda batch: [key_of(row) for row in batch]
+
+
 class SortOp(PhysicalOperator):
     """External merge sort on an order specification.
 
@@ -215,6 +376,11 @@ class SortOp(PhysicalOperator):
     inputs go through the classic two-phase algorithm — sorted run
     generation followed by a k-way heap merge — with spill I/O charged
     per run written and re-read, mirroring the cost model.
+
+    Sort keys are computed exactly once per input row (decorated
+    ``(key, sequence, row)`` entries), so neither the in-memory sort nor
+    the k-way merge ever re-derives a key; the sequence number keeps the
+    sort stable and guarantees rows themselves are never compared.
     """
 
     def __init__(self, child: PhysicalOperator, order: OrderSpec):
@@ -227,32 +393,49 @@ class SortOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         import heapq
 
-        key_of = make_sort_key_function(self.schema, self.order)
+        keys_of = _batch_keys(context, self.schema, self.order)
         memory_rows = max(1, context.sort_memory_rows)
-        runs: List[List[Row]] = []
-        buffered: List[Row] = []
-        total = 0
-        for row in self.child.rows(context):
-            buffered.append(row)
-            total += 1
-            if len(buffered) >= memory_rows:
-                buffered.sort(key=key_of)
-                runs.append(buffered)
-                context.charge_spill(len(buffered))
-                buffered = []
-        context.rows_sorted += total
+        size = context.batch_size
+        runs: List[List[Tuple[Any, int, Row]]] = []
+        buffered: List[Tuple[Any, int, Row]] = []
+        sequence = 0
+        for batch in self.child.batches(context):
+            keys = keys_of(batch)
+            start = 0
+            total = len(batch)
+            while start < total:
+                # Fill the in-memory buffer in slices so run boundaries
+                # land exactly at memory_rows regardless of batch size.
+                take = min(total - start, memory_rows - len(buffered))
+                end = start + take
+                buffered.extend(
+                    zip(
+                        keys[start:end],
+                        range(sequence, sequence + take),
+                        batch[start:end],
+                    )
+                )
+                sequence += take
+                start = end
+                if len(buffered) >= memory_rows:
+                    buffered.sort()
+                    runs.append(buffered)
+                    context.charge_spill(len(buffered))
+                    buffered = []
+        context.rows_sorted += sequence
         if not runs:
-            buffered.sort(key=key_of)
-            yield from buffered
+            buffered.sort()
+            yield from rechunk([row for _key, _seq, row in buffered], size)
             return
         if buffered:
-            buffered.sort(key=key_of)
+            buffered.sort()
             runs.append(buffered)
             context.charge_spill(len(buffered))
-        yield from heapq.merge(*runs, key=key_of)
+        merged = heapq.merge(*runs)
+        yield from chunked((row for _key, _seq, row in merged), size)
 
     def label(self) -> str:
         return f"sort {self.order}"
@@ -271,12 +454,14 @@ class LimitOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
-        emitted = 0
-        for row in self.child.rows(context):
-            yield row
-            emitted += 1
-            if emitted >= self.count:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        remaining = self.count
+        for batch in self.child.batches(context):
+            if len(batch) < remaining:
+                remaining -= len(batch)
+                yield batch
+            else:
+                yield batch[:remaining]
                 return
 
     def label(self) -> str:
@@ -286,7 +471,7 @@ class LimitOp(PhysicalOperator):
 class TopNSortOp(PhysicalOperator):
     """Partial sort: the ``count`` smallest rows under ``order``.
 
-    A bounded heap replaces the full sort when FETCH FIRST follows an
+    A bounded buffer replaces the full sort when FETCH FIRST follows an
     unsatisfied ORDER BY — O(n log k) comparisons and no spill, the
     Top-N analogue of the paper's minimal-sort-column economics.
     """
@@ -304,29 +489,27 @@ class TopNSortOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
-        import heapq
-
-        key_of = make_sort_key_function(self.schema, self.order)
-        # heapq is a min-heap; keep the k smallest by pushing inverted
-        # positions is awkward for arbitrary keys, so track the k best
-        # with nlargest/nsmallest semantics via a sorted buffer capped
-        # lazily. For realistic k this insort approach is O(n log k).
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         import bisect
 
-        buffer: List[Any] = []  # (key, tie, row), ascending
+        keys_of = _batch_keys(context, self.schema, self.order)
+        count = self.count
+        buffer: List[Tuple[Any, int, Row]] = []  # (key, tie, row), ascending
         tie = 0
-        for row in self.child.rows(context):
-            entry = (key_of(row), tie, row)
-            tie += 1
-            if len(buffer) < self.count:
-                bisect.insort(buffer, entry)
-            elif entry[0] < buffer[-1][0]:
-                bisect.insort(buffer, entry)
-                buffer.pop()
+        for batch in self.child.batches(context):
+            keys = keys_of(batch)
+            for key, row in zip(keys, batch):
+                entry = (key, tie, row)
+                tie += 1
+                if len(buffer) < count:
+                    bisect.insort(buffer, entry)
+                elif entry[0] < buffer[-1][0]:
+                    bisect.insort(buffer, entry)
+                    buffer.pop()
         context.rows_sorted += tie
-        for _key, _tie, row in buffer:
-            yield row
+        yield from rechunk(
+            [row for _key, _tie, row in buffer], context.batch_size
+        )
 
     def label(self) -> str:
         return f"top-{self.count} sort {self.order}"
@@ -351,9 +534,9 @@ class ConcatOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return tuple(self._children)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         for child in self._children:
-            yield from child.rows(context)
+            yield from child.batches(context)
 
     def label(self) -> str:
         return f"concat ({len(self._children)} branches)"
@@ -370,10 +553,10 @@ class MaterializeOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         if self._buffer is None:
-            self._buffer = list(self.child.rows(context))
-        return iter(self._buffer)
+            self._buffer = self.child.execute(context)
+        yield from rechunk(self._buffer, context.batch_size)
 
     def label(self) -> str:
         return "materialize"

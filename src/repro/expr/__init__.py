@@ -27,6 +27,12 @@ from repro.expr.nodes import (
 )
 from repro.expr.schema import RowSchema
 from repro.expr.evaluate import evaluate, evaluate_predicate
+from repro.expr.compile import (
+    compile_expression,
+    compile_predicate,
+    predicate_kernel,
+    projection_kernel,
+)
 from repro.expr.analysis import (
     PredicateFacts,
     analyze_predicates,
@@ -57,6 +63,10 @@ __all__ = [
     "RowSchema",
     "evaluate",
     "evaluate_predicate",
+    "compile_expression",
+    "compile_predicate",
+    "predicate_kernel",
+    "projection_kernel",
     "PredicateFacts",
     "analyze_predicates",
     "columns_of",

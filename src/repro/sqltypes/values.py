@@ -169,14 +169,23 @@ def sort_key(value: Any, descending: bool = False) -> Any:
     matching DB2. Decimals and floats are unified so mixed numeric columns
     sort consistently.
     """
-    if is_null(value):
-        key: Any = _NULLS_HIGH
+    if type(value) is int:
+        # The hottest case, tested first with an exact type check
+        # (bools must fall through to their own band). Raw ints order
+        # (and hash) consistently against the Decimal keys of the other
+        # numeric types, without paying a Decimal construction per
+        # value on the sort path.
+        key: Any = (0, value)
+    elif is_null(value):
+        key = _NULLS_HIGH
     elif isinstance(value, decimal.Decimal):
         key = (0, value)
     elif isinstance(value, bool):
         key = (2, value)
-    elif isinstance(value, (int, float)):
+    elif isinstance(value, float):
         key = (0, decimal.Decimal(str(value)))
+    elif isinstance(value, int):  # int subclasses other than bool
+        key = (0, value)
     elif isinstance(value, str):
         key = (1, value)
     elif isinstance(value, datetime.date):

@@ -76,11 +76,15 @@ def main(argv=None) -> int:
 
 
 def _smoke() -> int:
+    # compare_exec_modes re-runs every chosen plan under both executor
+    # engines (compiled kernels and the tree-walking interpreter) and
+    # requires identical rows in identical order.
     report = run_fuzz(
         seed=2026,
         n=12,
         configs=tier1_matrix(),
         audit_configs=("full", "disabled"),
+        compare_exec_modes=True,
     )
     print(f"fuzz smoke: {report.summary()}")
     failed = _report_failures(report, do_shrink=False)

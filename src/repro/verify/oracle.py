@@ -29,10 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.api import plan_query, run_query
+from repro.api import execute, plan_query, run_query
 from repro.core.ordering import SortDirection
 from repro.executor.build import build_operator
-from repro.executor.context import ExecutionContext
+from repro.executor.context import (
+    MODE_COMPILED,
+    MODE_INTERPRETED,
+    ExecutionContext,
+)
 from repro.optimizer import OptimizerConfig, Plan
 from repro.optimizer.plan import PlanNode
 from repro.sqltypes.values import sort_key
@@ -186,13 +190,17 @@ def check_query(
     configs: Optional[Dict[str, OptimizerConfig]] = None,
     audit_configs: Sequence[str] = (),
     expected: Optional[List[tuple]] = None,
+    compare_exec_modes: bool = False,
 ) -> List[Mismatch]:
     """Run ``sql`` under every config and diff against the reference.
 
     ``expected`` short-circuits the reference evaluation (callers that
     batch-check the same query reuse it). ``audit_configs`` names matrix
     entries whose chosen plan additionally gets a full per-node property
-    audit.
+    audit. ``compare_exec_modes`` re-executes each chosen plan under
+    both executor engines (compiled and interpreted, explicitly — so a
+    global ``REPRO_EXEC`` override cannot make the check vacuous) and
+    requires byte-identical rows in identical order.
     """
     if configs is None:
         configs = full_matrix()
@@ -267,10 +275,46 @@ def check_query(
                         f"(multisets differ)\n{result.plan.explain()}",
                     )
                 )
+        if compare_exec_modes:
+            divergence = _exec_mode_divergence(database, result.plan)
+            if divergence is not None:
+                mismatches.append(Mismatch(sql, name, "exec", divergence))
         if name in audit_configs:
             for violation in audit_plan(database, result.plan):
                 mismatches.append(Mismatch(sql, name, "audit", violation))
     return mismatches
+
+
+def _exec_mode_divergence(database: Database, plan: Plan) -> Optional[str]:
+    """Run ``plan`` under both executor engines; describe any difference.
+
+    The comparison is exact (list equality), not multiset: the engines
+    must agree on row order too.
+    """
+    compiled = execute(
+        database, plan, context=ExecutionContext(database, mode=MODE_COMPILED)
+    )
+    interpreted = execute(
+        database,
+        plan,
+        context=ExecutionContext(database, mode=MODE_INTERPRETED),
+    )
+    if compiled.rows == interpreted.rows:
+        return None
+    if len(compiled.rows) != len(interpreted.rows):
+        return (
+            f"compiled produced {len(compiled.rows)} rows, interpreted "
+            f"{len(interpreted.rows)}\n{plan.explain()}"
+        )
+    for index, (left, right) in enumerate(
+        zip(compiled.rows, interpreted.rows)
+    ):
+        if left != right:
+            return (
+                f"row {index} differs: compiled {left!r} vs interpreted "
+                f"{right!r}\n{plan.explain()}"
+            )
+    return f"rows differ\n{plan.explain()}"  # pragma: no cover
 
 
 # ----------------------------------------------------------------------
@@ -491,6 +535,7 @@ def run_fuzz(
     configs: Optional[Dict[str, OptimizerConfig]] = None,
     audit_configs: Sequence[str] = (),
     batch: int = 25,
+    compare_exec_modes: bool = False,
 ) -> FuzzReport:
     """Fuzz ``n`` queries under the config matrix, a fresh random schema
     every ``batch`` queries so index/key shapes vary within one run."""
@@ -508,7 +553,11 @@ def run_fuzz(
             spec = generator.generate()
             sql = spec.sql()
             mismatches = check_query(
-                database, sql, configs, audit_configs=audit_configs
+                database,
+                sql,
+                configs,
+                audit_configs=audit_configs,
+                compare_exec_modes=compare_exec_modes,
             )
             report.queries += 1
             report.executions += len(configs)
