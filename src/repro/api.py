@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 from repro.cost.model import CostModel
 from repro.executor.build import build_executor
 from repro.executor.context import ExecutionContext
+from repro.expr.bindings import parameter_scope
 from repro.optimizer import Optimizer, OptimizerConfig, Plan
 from repro.storage import Database
 from repro.storage.buffer import IoStats
@@ -36,6 +37,9 @@ class QueryResult:
     spill_pages: int
     exec_mode: str = "compiled"
     analyzed: Optional[str] = None
+    # "hit" / "miss" when the statement went through a plan cache,
+    # None when it was planned directly.
+    cache_status: Optional[str] = None
 
     @property
     def simulated_elapsed_ms(self) -> float:
@@ -64,6 +68,7 @@ def run_query(
     cold_cache: bool = False,
     parameters: Optional[dict] = None,
     mode: Optional[str] = None,
+    cache=None,
 ) -> QueryResult:
     """Optimize and execute ``sql``, measuring real and simulated time.
 
@@ -71,6 +76,12 @@ def run_query(
     plan is reusable across bindings — re-run with :func:`execute`.
     ``mode`` selects the executor engine (``compiled``/``interpreted``),
     defaulting to the REPRO_EXEC env var.
+
+    ``cache`` routes planning through a plan cache (anything with the
+    :meth:`repro.service.PlanCache.plan_for` protocol). The result's
+    ``cache_status`` then reports ``"hit"`` or ``"miss"`` instead of
+    silently re-planning, and the ``analyzed`` rendering carries the
+    same verdict.
 
     A leading ``EXPLAIN`` keyword plans the query without executing it
     and returns the plan rendering, one row per line (with per-node
@@ -90,6 +101,22 @@ def run_query(
             simulated_io_ms=0.0,
             spill_pages=0,
         )
+    if cache is not None:
+        plan, bindings, status = cache.plan_for(
+            database,
+            sql,
+            parameters=parameters,
+            config=config,
+            cost_model=cost_model,
+        )
+        return execute(
+            database,
+            plan,
+            cold_cache=cold_cache,
+            parameters=bindings,
+            mode=mode,
+            cache_status=status,
+        )
     plan = plan_query(database, sql, config, cost_model)
     return execute(
         database, plan, cold_cache=cold_cache, parameters=parameters, mode=mode
@@ -103,26 +130,35 @@ def execute(
     parameters: Optional[dict] = None,
     context: Optional[ExecutionContext] = None,
     mode: Optional[str] = None,
+    reset_io: bool = True,
+    cache_status: Optional[str] = None,
 ) -> QueryResult:
     """Execute an existing plan, measuring real and simulated time.
 
     Pass ``context`` to control batch size / engine mode directly, or
     just ``mode`` for an engine switch with default settings. The
     per-operator runtime counters are rendered into ``analyzed``
-    (``explain(analyze=...)`` form).
+    (``explain(analyze=...)`` form). ``reset_io=False`` keeps the
+    buffer-pool counters untouched — the query service's concurrent
+    path, where per-query global I/O numbers would be fiction anyway.
     """
-    database.reset_io(cold=cold_cache)
+    if reset_io:
+        database.reset_io(cold=cold_cache)
     if context is None:
         context = (
             ExecutionContext(database)
             if mode is None
             else ExecutionContext(database, mode=mode)
         )
-    operator = build_executor(plan, database, parameters)
+    operator = build_executor(plan, database)
     started = time.perf_counter()
-    rows = operator.execute(context)
+    with parameter_scope(parameters):
+        rows = operator.execute(context)
     elapsed = time.perf_counter() - started
     stats = database.buffer_pool.stats.snapshot()
+    analyzed = operator.explain(analyze=context)
+    if cache_status is not None:
+        analyzed = f"{analyzed}\nplan cache: {cache_status}"
     return QueryResult(
         rows=rows,
         column_names=plan.output_names,
@@ -132,5 +168,6 @@ def execute(
         simulated_io_ms=context.simulated_io_ms(),
         spill_pages=context.spill_pages,
         exec_mode=context.mode,
-        analyzed=operator.explain(analyze=context),
+        analyzed=analyzed,
+        cache_status=cache_status,
     )

@@ -60,7 +60,8 @@ def main(argv=None) -> int:
         payload = report.data.get("json")
         if payload is not None:
             arguments.json_dir.mkdir(parents=True, exist_ok=True)
-            target = arguments.json_dir / f"BENCH_{experiment_id}.json"
+            json_name = report.data.get("json_name", experiment_id)
+            target = arguments.json_dir / f"BENCH_{json_name}.json"
             target.write_text(json.dumps(payload, indent=2, sort_keys=True))
             print(f"wrote {target}")
         print()

@@ -10,17 +10,32 @@ from repro.errors import CatalogError
 
 
 class Catalog:
-    """Registry of table schemas and their indexes."""
+    """Registry of table schemas and their indexes.
+
+    Two monotonic counters support plan-cache invalidation
+    (:mod:`repro.service`): ``version`` ticks on every DDL change
+    (create/drop of a table or index) and ``stats_version`` ticks on
+    statistics refreshes (see :meth:`note_stats_refresh`; the storage
+    layer's analyze entry points call it). A cached plan embeds both in
+    its key, so any change makes every older entry unreachable.
+    """
 
     def __init__(self):
         self._tables: Dict[str, TableSchema] = {}
         self._indexes: Dict[str, Index] = {}
+        self.version = 0
+        self.stats_version = 0
+
+    def note_stats_refresh(self) -> None:
+        """Record that table statistics changed (plans may now differ)."""
+        self.stats_version += 1
 
     def create_table(self, schema: TableSchema) -> TableSchema:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name} already exists")
         self._tables[key] = schema
+        self.version += 1
         return schema
 
     def drop_table(self, name: str) -> None:
@@ -34,6 +49,7 @@ class Catalog:
             if index.table_name.lower() == key
         ]:
             del self._indexes[index_name.lower()]
+        self.version += 1
 
     def table(self, name: str) -> TableSchema:
         try:
@@ -58,12 +74,14 @@ class Catalog:
                     f"{index.table_name}.{column_name}"
                 )
         self._indexes[index.name.lower()] = index
+        self.version += 1
         return index
 
     def drop_index(self, name: str) -> None:
         if name.lower() not in self._indexes:
             raise CatalogError(f"no index {name}")
         del self._indexes[name.lower()]
+        self.version += 1
 
     def index(self, name: str) -> Index:
         try:

@@ -9,32 +9,94 @@ counter-budget regression test pins TPC-D Q3's planning work to a fixed
 budget so the quadratic behaviour this layer removed cannot silently
 return.
 
-Counters are plain dict increments (no locks — planning is
-single-threaded) and stay enabled permanently: one dict update per
-counted event is far below measurement noise, and permanently-on
-counters cannot drift out of sync with the code they observe.
+Concurrency: the query service runs optimizer and executor code on a
+worker pool, so the registry must not lose increments under threads —
+but the hot paths are plain inline dict updates and must stay that way.
+The resolution is striping: each thread increments a private dict
+(``threading.local``), registered once in a locked global list, and
+:func:`snapshot` merges every thread's slice. ``COUNTERS``/``TIMERS``
+are dict-like proxies over *the calling thread's* slice, so the inline
+``COUNTERS[name] = COUNTERS.get(name, 0) + 1`` pattern at existing call
+sites is unchanged, lock-free, and race-free (read-modify-write never
+leaves the thread). Reading a total therefore goes through
+:func:`snapshot` — a bare ``COUNTERS.get`` only sees work done by the
+current thread. Slices of finished threads stay registered until
+:func:`reset`; with the service's fixed-size pools that is a bounded,
+harmless leak.
+
+Counters stay enabled permanently: one dict update per counted event is
+far below measurement noise, and permanently-on counters cannot drift
+out of sync with the code they observe.
 
 Naming convention: ``<subsystem>.<event>``, e.g. ``reduce.calls``,
-``reduce.memo_hits``, ``closure.iterations``. Hit rates are derived by
-the reader (hits / calls), never stored.
+``reduce.memo_hits``, ``closure.iterations``, ``service.cache.hits``.
+Hit rates are derived by the reader (hits / calls), never stored.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Tuple
 
-# The registries. Hot paths may import these dicts directly and do
-# ``COUNTERS[name] = COUNTERS.get(name, 0) + amount`` inline; ``count``
-# exists for call sites where a function call is not hot.
-COUNTERS: Dict[str, int] = {}
-TIMERS: Dict[str, float] = {}
+_REGISTRY_LOCK = threading.Lock()
+# Every thread's (counters, timers) pair, in first-use order.
+_SLICES: List[Tuple[Dict[str, int], Dict[str, float]]] = []
+
+
+class _ThreadSlices(threading.local):
+    """Per-thread counter/timer dicts, registered globally on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        with _REGISTRY_LOCK:
+            _SLICES.append((self.counters, self.timers))
+
+
+_LOCAL = _ThreadSlices()
+
+
+class _Registry:
+    """Dict-like proxy over the calling thread's slice.
+
+    Supports exactly the shapes the inline call sites use: item get/set
+    and ``get``. Cross-thread totals come from :func:`snapshot`.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: int) -> None:
+        self._index = index
+
+    def _slice(self) -> Dict:
+        return (_LOCAL.counters, _LOCAL.timers)[self._index]
+
+    def __getitem__(self, name: str):
+        return self._slice()[name]
+
+    def __setitem__(self, name: str, value) -> None:
+        self._slice()[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._slice()
+
+    def get(self, name: str, default=None):
+        return self._slice().get(name, default)
+
+    def items(self):
+        return self._slice().items()
+
+
+COUNTERS = _Registry(0)
+TIMERS = _Registry(1)
 
 
 def count(name: str, amount: int = 1) -> None:
     """Increment counter ``name`` by ``amount``."""
-    COUNTERS[name] = COUNTERS.get(name, 0) + amount
+    counters = _LOCAL.counters
+    counters[name] = counters.get(name, 0) + amount
 
 
 @contextmanager
@@ -44,14 +106,22 @@ def timed(name: str) -> Iterator[None]:
     try:
         yield
     finally:
-        TIMERS[name] = TIMERS.get(name, 0.0) + (time.perf_counter() - start)
+        timers = _LOCAL.timers
+        timers[name] = timers.get(name, 0.0) + (time.perf_counter() - start)
 
 
 def snapshot() -> Dict[str, float]:
-    """Counters and timers as one flat dict (timers suffixed ``_s``)."""
-    merged: Dict[str, float] = dict(COUNTERS)
-    for name, seconds in TIMERS.items():
-        merged[f"{name}_s"] = seconds
+    """Counters and timers as one flat dict (timers suffixed ``_s``),
+    merged across every thread that has ever counted."""
+    merged: Dict[str, float] = {}
+    with _REGISTRY_LOCK:
+        slices = list(_SLICES)
+    for counters, timers in slices:
+        for name, value in list(counters.items()):
+            merged[name] = merged.get(name, 0) + value
+        for name, seconds in list(timers.items()):
+            key = f"{name}_s"
+            merged[key] = merged.get(key, 0.0) + seconds
     return merged
 
 
@@ -67,9 +137,16 @@ def delta(before: Dict[str, float]) -> Dict[str, float]:
 
 
 def reset() -> None:
-    """Zero every counter and timer."""
-    COUNTERS.clear()
-    TIMERS.clear()
+    """Zero every counter and timer on every thread.
+
+    Racy against threads actively counting (their in-flight increment
+    may survive); call it only around quiescent measurement windows,
+    like the benches do.
+    """
+    with _REGISTRY_LOCK:
+        for counters, timers in _SLICES:
+            counters.clear()
+            timers.clear()
 
 
 def hit_rate(stats: Dict[str, float], subsystem: str) -> float:

@@ -17,6 +17,7 @@ from repro.expr.nodes import (
     IsNull,
     Literal,
     Not,
+    Parameter,
 )
 
 DEFAULT_EQ_SELECTIVITY = 0.1
@@ -84,7 +85,9 @@ class SelectivityEstimator:
 
     def _comparison_selectivity(self, predicate: Comparison) -> float:
         left, right, op = predicate.left, predicate.right, predicate.op
-        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        if isinstance(left, (Literal, Parameter)) and isinstance(
+            right, ColumnRef
+        ):
             left, right = right, left
             op = op.flipped()
         if isinstance(left, ColumnRef) and isinstance(right, Literal):
@@ -93,6 +96,15 @@ class SelectivityEstimator:
             if op is ComparisonOp.NE:
                 return max(0.0, 1.0 - self._equality_selectivity(left))
             return self._range_selectivity(left, op, right.value)
+        if isinstance(left, ColumnRef) and isinstance(right, Parameter):
+            # Host variable: an unknown constant (§4.1). Equality keeps
+            # the 1/NDV uniform-value estimate; ranges get the classic
+            # System-R magic fraction since the cutpoint is unknown.
+            if op is ComparisonOp.EQ:
+                return self._equality_selectivity(left)
+            if op is ComparisonOp.NE:
+                return max(0.0, 1.0 - self._equality_selectivity(left))
+            return DEFAULT_RANGE_SELECTIVITY
         if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
             if op is ComparisonOp.EQ:
                 return join_selectivity(

@@ -67,3 +67,11 @@ class ExecutionError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for bad experiment ids/configs."""
+
+
+class ServiceError(ReproError):
+    """Raised by the query service (bad state, closed service...)."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the service's admission queue is full (backpressure)."""

@@ -1,8 +1,12 @@
 """Translate optimizer plans into executable operator trees.
 
-Host variables (``:name`` parameters) are bound here: planning treated
-them as opaque constants (§4.1); execution substitutes the provided
-values into every expression before operators are instantiated.
+Host variables (``:name`` parameters) stay as ``Parameter`` nodes in
+the operator tree: planning treated them as opaque constants (§4.1),
+and execution resolves them through the thread-local binding scope
+(:mod:`repro.expr.bindings`) at evaluation time. Keeping the nodes in
+place means the compiled kernels — memoized per (expression, schema) —
+are reused verbatim across executions with different bindings, which is
+what makes the plan cache's re-binding free.
 """
 
 from __future__ import annotations
@@ -37,47 +41,10 @@ from repro.optimizer.plan import OpKind, Plan, PlanNode
 from repro.storage import Database
 
 
-def build_operator(
-    node: PlanNode,
-    database: Database,
-    parameters: Optional[Dict[str, object]] = None,
-) -> PhysicalOperator:
+def build_operator(node: PlanNode, database: Database) -> PhysicalOperator:
     """Recursively build the physical operator for one plan node."""
-    from repro.expr.nodes import Expression
-    from repro.expr.transform import bind_parameters
-
-    children = [
-        build_operator(child, database, parameters) for child in node.children
-    ]
-
-    def bind(expression):
-        if expression is None or parameters is None:
-            return expression
-        if isinstance(expression, Expression):
-            return bind_parameters(expression, parameters)
-        return expression
-
+    children = [build_operator(child, database) for child in node.children]
     args = dict(node.args)
-    for key in ("predicate", "residual"):
-        if key in args:
-            args[key] = bind(args[key])
-    if "expressions" in args:
-        args["expressions"] = [bind(e) for e in args["expressions"]]
-    if "aggregates" in args and parameters is not None:
-        from repro.expr.nodes import Aggregate
-
-        rebound = []
-        for name, aggregate in args["aggregates"]:
-            if aggregate.argument is not None:
-                aggregate = Aggregate(
-                    aggregate.kind,
-                    bind(aggregate.argument),
-                    aggregate.distinct,
-                    aggregate.alias,
-                )
-            rebound.append((name, aggregate))
-        args["aggregates"] = rebound
-
     kind = node.kind
     if kind is OpKind.TABLE_SCAN:
         return TableScanOp(args["table"], args["alias"], node.properties.schema)
@@ -169,13 +136,13 @@ def build_operator(
     raise ExecutionError(f"cannot build operator for {kind}")
 
 
-def build_executor(
-    plan: Plan,
-    database: Database,
-    parameters: Optional[Dict[str, object]] = None,
-) -> PhysicalOperator:
-    """Operator tree for a whole plan, with host variables bound."""
-    return build_operator(plan.root, database, parameters)
+def build_executor(plan: Plan, database: Database) -> PhysicalOperator:
+    """Operator tree for a whole plan.
+
+    Host variables resolve per execution — install bindings with
+    :func:`repro.expr.bindings.parameter_scope` around ``execute``.
+    """
+    return build_operator(plan.root, database)
 
 
 def execute_plan(
@@ -185,6 +152,9 @@ def execute_plan(
     parameters: Optional[Dict[str, object]] = None,
 ) -> List[tuple]:
     """Run a plan to completion and return its rows."""
+    from repro.expr.bindings import parameter_scope
+
     if context is None:
         context = ExecutionContext(database)
-    return build_executor(plan, database, parameters).execute(context)
+    with parameter_scope(parameters):
+        return build_executor(plan, database).execute(context)

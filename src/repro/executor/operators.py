@@ -29,10 +29,11 @@ from repro.expr.compile import (
     predicate_kernel,
     projection_kernel,
 )
+from repro.expr.bindings import active_value
 from repro.expr.evaluate import evaluate, evaluate_predicate
-from repro.expr.nodes import ColumnRef, Expression
+from repro.expr.nodes import ColumnRef, Expression, Parameter
 from repro.expr.schema import RowSchema
-from repro.sqltypes import sort_key
+from repro.sqltypes import is_null, sort_key
 from repro.storage.database import encode_index_key
 
 Row = Tuple[Any, ...]
@@ -158,6 +159,29 @@ class TableScanOp(PhysicalOperator):
         return f"table scan {self.table_name} as {self.alias}"
 
 
+_NEVER_MATCHES = object()
+
+
+def _resolve_bound(bound: Optional[Tuple[Any, ...]]) -> Any:
+    """Index bound with host variables resolved from the active scope.
+
+    Returns ``None`` for "unbounded", the resolved value tuple, or
+    ``_NEVER_MATCHES`` when any bound value is NULL — sargable
+    predicates compare the key column against the value, and a
+    comparison with NULL is never true.
+    """
+    if bound is None:
+        return None
+    resolved = []
+    for value in bound:
+        if isinstance(value, Parameter):
+            value = active_value(value.name)
+        if is_null(value):
+            return _NEVER_MATCHES
+        resolved.append(value)
+    return tuple(resolved)
+
+
 class IndexScanOp(PhysicalOperator):
     """Ordered scan through an index, optionally bounded.
 
@@ -190,17 +214,25 @@ class IndexScanOp(PhysicalOperator):
         self.descending = descending
 
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        low = _resolve_bound(self.low)
+        high = _resolve_bound(self.high)
+        if low is _NEVER_MATCHES or high is _NEVER_MATCHES:
+            # A bound compared against NULL (e.g. a host variable bound
+            # to None): the covered predicate is never true, and it was
+            # removed from the residual filters, so the scan itself must
+            # return nothing.
+            return
         store = context.database.store(self.table_name)
         index, tree = store.indexes[self.index_name]
         directions = [column.direction for column in index.key]
         low_key = (
-            encode_index_key(self.low, directions[: len(self.low)])
-            if self.low is not None
+            encode_index_key(low, directions[: len(low)])
+            if low is not None
             else None
         )
         high_key = (
-            encode_index_key(self.high, directions[: len(self.high)])
-            if self.high is not None
+            encode_index_key(high, directions[: len(high)])
+            if high is not None
             else None
         )
         fetch = store.heap.fetch

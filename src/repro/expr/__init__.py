@@ -26,6 +26,7 @@ from repro.expr.nodes import (
     lit,
 )
 from repro.expr.schema import RowSchema
+from repro.expr.bindings import active_value, current_bindings, parameter_scope
 from repro.expr.evaluate import evaluate, evaluate_predicate
 from repro.expr.compile import (
     compile_expression,
@@ -61,6 +62,9 @@ __all__ = [
     "col",
     "lit",
     "RowSchema",
+    "active_value",
+    "current_bindings",
+    "parameter_scope",
     "evaluate",
     "evaluate_predicate",
     "compile_expression",

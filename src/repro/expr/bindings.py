@@ -1,0 +1,72 @@
+"""Thread-local host-variable binding scope.
+
+A cached plan keeps its :class:`~repro.expr.nodes.Parameter` nodes —
+rewriting them to literals per execution would change the expression
+identity and defeat the per-(expression, schema) compile memo in
+:mod:`repro.expr.compile`. Instead, executions install a binding scope
+on the current thread and both engines (the interpreter and compiled
+closures) look parameter values up here at evaluation time.
+
+Scopes nest (a stack per thread) and are thread-local, so the query
+service's worker pool can run the same compiled kernels concurrently
+with different bindings.
+
+This module sits at the bottom of the ``expr`` layer and must only
+import ``repro.errors``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ExpressionError
+
+
+class _ScopeState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list = []
+
+
+_STATE = _ScopeState()
+
+_MISSING = object()
+
+
+@contextmanager
+def parameter_scope(values: Optional[Mapping[str, Any]]) -> Iterator[None]:
+    """Install ``values`` as the active bindings for this thread.
+
+    ``None`` installs an empty scope (every lookup raises), which keeps
+    the error behaviour of an unparameterized execution unchanged.
+    """
+    _STATE.stack.append(dict(values) if values else {})
+    try:
+        yield
+    finally:
+        _STATE.stack.pop()
+
+
+def current_bindings() -> Optional[Mapping[str, Any]]:
+    """The innermost binding mapping on this thread, or None."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def active_value(name: str) -> Any:
+    """The bound value for host variable ``name`` in the innermost scope.
+
+    Raises :class:`ExpressionError` when no scope is active or the name
+    is unbound — same message as the pre-scope unbound-parameter error,
+    so callers that never pass parameters see identical behaviour.
+    """
+    stack = _STATE.stack
+    if stack:
+        value = stack[-1].get(name, _MISSING)
+        if value is not _MISSING:
+            return value
+    raise ExpressionError(
+        f"unbound host variable :{name}; pass "
+        "parameters={...} when executing"
+    )

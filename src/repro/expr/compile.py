@@ -30,6 +30,7 @@ import operator as _operator
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExpressionError
+from repro.expr.bindings import active_value
 from repro.expr.evaluate import evaluate
 from repro.expr.nodes import (
     Aggregate,
@@ -325,14 +326,11 @@ def _compile(expression: Expression, schema: RowSchema) -> RowFn:
 
         return aggregate_error
     if isinstance(expression, Parameter):
-
-        def parameter_error(row: Row) -> Any:
-            raise ExpressionError(
-                f"unbound host variable :{expression.name}; pass "
-                "parameters={...} when executing"
-            )
-
-        return parameter_error
+        # Parameters resolve through the thread-local binding scope at
+        # call time: the closure (and therefore the compile memo entry)
+        # is the same object across executions with different bindings.
+        name = expression.name
+        return lambda row: active_value(name)
     raise ExpressionError(f"cannot compile {expression!r}")
 
 

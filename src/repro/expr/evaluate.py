@@ -64,13 +64,11 @@ def evaluate(
             f"aggregate {expression} cannot be evaluated per-record; "
             "it must be planned into a group-by operator"
         )
+    from repro.expr.bindings import active_value
     from repro.expr.nodes import Parameter
 
     if isinstance(expression, Parameter):
-        raise ExpressionError(
-            f"unbound host variable :{expression.name}; pass "
-            "parameters={...} when executing"
-        )
+        return active_value(expression.name)
     raise ExpressionError(f"cannot evaluate {expression!r}")
 
 

@@ -95,19 +95,3 @@ def substitute_columns(
     return transform(expression, visit)
 
 
-def bind_parameters(expression: Expression, values: Dict[str, object]) -> Expression:
-    """Replace host variables with literal values for execution.
-
-    Raises ExpressionError when a referenced parameter has no value.
-    """
-
-    def visit(node: Expression) -> Optional[Expression]:
-        if isinstance(node, Parameter):
-            if node.name not in values:
-                raise ExpressionError(
-                    f"no value bound for host variable :{node.name}"
-                )
-            return Literal(values[node.name])
-        return None
-
-    return transform(expression, visit)

@@ -17,6 +17,7 @@ from repro.expr.analysis import (
     columns_of,
     conjuncts_of,
     is_column_constant_equality,
+    is_column_parameter_equality,
 )
 from repro.expr.nodes import (
     ColumnRef,
@@ -24,6 +25,7 @@ from repro.expr.nodes import (
     ComparisonOp,
     Expression,
     Literal,
+    Parameter,
 )
 from repro.optimizer.config import OptimizerConfig, PlannerStats
 from repro.optimizer.plan import OpKind, PlanNode
@@ -282,6 +284,12 @@ def _find_equality(
         matched = is_column_constant_equality(predicate)
         if matched is not None and matched[0] == column:
             return matched[1].value, predicate
+        # Host variables are constants whose value arrives at execution
+        # (§4.1): keep the Parameter node in the bound tuple and let the
+        # index scan resolve it from the active binding scope.
+        parameter = is_column_parameter_equality(predicate)
+        if parameter is not None and parameter[0] == column:
+            return parameter[1], predicate
     return None, None
 
 
@@ -295,12 +303,14 @@ def _find_range(
         if not isinstance(predicate, Comparison):
             continue
         left, right, op = predicate.left, predicate.right, predicate.op
-        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        if isinstance(right, ColumnRef) and isinstance(
+            left, (Literal, Parameter)
+        ):
             left, right = right, left
             op = op.flipped()
-        if left != column or not isinstance(right, Literal):
+        if left != column or not isinstance(right, (Literal, Parameter)):
             continue
-        value = right.value
+        value = right if isinstance(right, Parameter) else right.value
         if op in (ComparisonOp.GT, ComparisonOp.GE) and low is None:
             low, low_inc = value, op is ComparisonOp.GE
             covered.append(predicate)

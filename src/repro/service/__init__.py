@@ -1,0 +1,38 @@
+"""The query service: auto-parameterization, plan caching, and a
+concurrent front end.
+
+This is the first subsystem that treats the engine as a *server*: SQL
+statements arrive repeatedly with varying literals, and re-running the
+parser and optimizer for each arrival wastes the work the paper's order
+algebra already made value-independent. §4.1 is what makes that safe —
+``col = constant`` enters Reduce Order as the structural FD
+``{} -> {col}`` whether the constant is a literal or a host variable,
+so the optimizer produces the *same* plan for ``seg = 3`` and
+``seg = :p``. The service exploits this:
+
+* :mod:`repro.service.parameterize` rewrites literal tokens into host
+  variables plus a binding vector (conservative carve-outs for literals
+  that change plan shape);
+* :mod:`repro.service.cache` keys finalized plans on the normalized
+  statement fingerprint, parameter-type signature, catalog and stats
+  versions, and the optimizer-config fingerprint;
+* :mod:`repro.service.service` runs queries on a worker pool with a
+  bounded admission queue and per-query latency metrics.
+
+Layering: ``service`` sits above ``api`` (it orchestrates planning and
+execution); nothing below imports it.
+"""
+
+from repro.service.cache import CachedPlan, PlanCache, config_fingerprint
+from repro.service.parameterize import ParameterizedQuery, parameterize
+from repro.service.service import QueryService, ServiceStats
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "config_fingerprint",
+    "ParameterizedQuery",
+    "parameterize",
+    "QueryService",
+    "ServiceStats",
+]

@@ -1,0 +1,244 @@
+"""The parameterized plan cache.
+
+Entries are keyed on everything a finalized plan depends on:
+
+* the normalized statement fingerprint (see
+  :mod:`repro.service.parameterize`),
+* the parameter-type signature,
+* the catalog DDL version and statistics version
+  (:class:`repro.catalog.Catalog` ticks both),
+* the :class:`~repro.optimizer.config.OptimizerConfig` fingerprint.
+
+Versions-in-the-key makes staleness structural: after a DDL change or
+stats refresh the old entries simply cannot be looked up again. The
+explicit :meth:`PlanCache.invalidate_stale` hook additionally *removes*
+them (and counts them as invalidations) so the LRU is not clogged by
+unreachable plans; the service calls it whenever it observes a version
+or config change.
+
+A cached entry stores the finalized physical plan and a warm operator
+tree. The warm tree is built once at insert, which drives every one of
+the plan's expressions through :func:`repro.expr.compile` — the cache
+therefore pins strong references to the compiled kernels, and later
+executions (which rebuild a fresh operator tree per run for thread
+safety) hit the compile memo instead of recompiling. Re-binding costs
+nothing: parameters resolve through the thread-local scope at
+evaluation time, so the kernels are byte-for-byte the same closures for
+every binding.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.instrument import count
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.plan import Plan
+
+
+def config_fingerprint(config: OptimizerConfig) -> Tuple[Any, ...]:
+    """A hashable identity for an optimizer configuration's behaviour."""
+    fields = sorted(vars(config).items())
+    return tuple((name, value) for name, value in fields)
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry."""
+
+    plan: Plan
+    fingerprint: str
+    type_signature: Tuple[str, ...]
+    catalog_version: int
+    stats_version: int
+    config_key: Tuple[Any, ...]
+    # Built once at insert to warm the expression-compile memo; holds
+    # strong references to the compiled kernels. Executions build fresh
+    # trees (operator instances carry per-run state), reusing the memo.
+    warm_operator: Any = field(default=None, repr=False)
+    hits: int = 0
+
+
+CacheKey = Tuple[str, Tuple[str, ...], int, int, Tuple[Any, ...]]
+
+
+class PlanCache:
+    """Thread-safe LRU cache of finalized plans.
+
+    Counters land in the ``service.cache`` instrument group:
+    ``service.cache.hits`` / ``misses`` / ``evictions`` /
+    ``invalidations``. The same numbers are kept exactly (merged across
+    threads) on the instance for tests and ``stats()``.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key_for(
+        fingerprint: str,
+        type_signature: Tuple[str, ...],
+        catalog_version: int,
+        stats_version: int,
+        config_key: Tuple[Any, ...],
+    ) -> CacheKey:
+        return (
+            fingerprint,
+            type_signature,
+            catalog_version,
+            stats_version,
+            config_key,
+        )
+
+    def get(self, key: CacheKey) -> Optional[CachedPlan]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                count("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            count("service.cache.hits")
+            return entry
+
+    def put(self, key: CacheKey, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                count("service.cache.evictions")
+
+    def invalidate_stale(
+        self, catalog_version: int, stats_version: int
+    ) -> int:
+        """Drop entries planned under older catalog/stats versions.
+
+        Version-in-key already makes them unreachable; this hook frees
+        them and counts the invalidation. Returns the number dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.catalog_version != catalog_version
+                or entry.stats_version != stats_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            count("service.cache.invalidations", len(stale))
+            return len(stale)
+
+    def invalidate_config(self, config_key: Tuple[Any, ...]) -> int:
+        """Drop entries planned under a different optimizer config."""
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.config_key != config_key
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            count("service.cache.invalidations", len(stale))
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            count("service.cache.invalidations", dropped)
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    # ------------------------------------------------------------------
+    # The one-call front door (used by QueryService and api.run_query)
+    # ------------------------------------------------------------------
+
+    def plan_for(
+        self,
+        database,
+        sql: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+        cost_model=None,
+    ) -> Tuple[Plan, Dict[str, Any], str]:
+        """Plan ``sql`` through the cache.
+
+        Returns ``(plan, bindings, status)`` where ``bindings`` merges
+        the auto-extracted literals with the caller's host variables and
+        ``status`` is ``"hit"`` or ``"miss"``. The plan still contains
+        its parameter markers; execute it inside a binding scope (the
+        ``parameters=`` argument of :func:`repro.api.execute` does it).
+        """
+        from repro.optimizer import Optimizer
+        from repro.service.parameterize import _type_name, parameterize
+
+        config = config or OptimizerConfig()
+        parameterized = parameterize(sql)
+        bindings = dict(parameterized.bindings)
+        if parameters:
+            bindings.update(parameters)
+        signature = parameterized.type_signature + tuple(
+            f"{name}={_type_name(value)}"
+            for name, value in sorted((parameters or {}).items())
+        )
+        catalog = database.catalog
+        config_key = config_fingerprint(config)
+        key = self.key_for(
+            parameterized.fingerprint,
+            signature,
+            catalog.version,
+            catalog.stats_version,
+            config_key,
+        )
+        entry = self.get(key)
+        if entry is not None:
+            return entry.plan, bindings, "hit"
+        from repro.executor.build import build_executor
+
+        plan = Optimizer(database, config, cost_model).plan_sql(
+            parameterized.text
+        )
+        entry = CachedPlan(
+            plan=plan,
+            fingerprint=parameterized.fingerprint,
+            type_signature=signature,
+            catalog_version=catalog.version,
+            stats_version=catalog.stats_version,
+            config_key=config_key,
+            warm_operator=build_executor(plan, database),
+        )
+        self.put(key, entry)
+        return plan, bindings, "miss"

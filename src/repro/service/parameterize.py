@@ -1,0 +1,188 @@
+"""Auto-parameterization: literals out, host variables in.
+
+Works on the token stream, not the parse tree, so the warm path of the
+plan cache never builds a QGM graph at all: tokenize, swap literal
+tokens for ``:__pN`` markers, and the re-rendered statement *is* the
+cache fingerprint. Two statements that differ only in literal spelling
+("WHERE seg=3" vs "where  SEG = 7") normalize to the same fingerprint
+and share one plan.
+
+What gets parameterized:
+
+* NUMBER and STRING literal tokens;
+* ``date('...')`` constructs, collapsed into a single date-valued
+  parameter (this is what varies across TPC-D replay workloads).
+
+Conservative carve-outs — literals that change plan *shape* stay
+inline:
+
+* IN-list elements: selectivity scales with list arity, so two IN
+  predicates of different lengths must not share a fingerprint (they
+  cannot — the arity is in the token stream), and folding the list into
+  parameters would defeat the compiler's hoisted-membership kernel.
+* FETCH FIRST n: the row count steers the Top-N-vs-full-sort choice and
+  LIMIT placement; it stays a plan property, not a binding.
+* ORDER BY numbers: the grammar only admits numbers there as output
+  ordinals (``order by 2 desc``), which are sort keys — pure plan
+  shape.
+* NULL keywords: ``col = NULL`` is never true and is analyzed
+  differently from ``col = :p`` (no structural FD), so masking NULL as
+  a parameter would change predicate analysis.
+
+The §4.1 safety argument: a host variable "qualifies as a constant" for
+order reasoning, so every plan decision the optimizer makes for the
+parameterized statement — sargable index bounds included, since the
+scan resolves parameter bounds at execution — is valid for all
+bindings.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.parser.lexer import Token, TokenKind, tokenize
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """A statement with its literals hoisted into bindings.
+
+    ``text`` is the normalized, re-parseable SQL with ``:__pN`` markers;
+    it doubles as the plan-cache fingerprint. ``bindings`` maps marker
+    names to the extracted values; ``type_signature`` is the value types
+    in marker order (part of the cache key).
+    """
+
+    text: str
+    bindings: Dict[str, Any] = field(compare=False)
+    type_signature: Tuple[str, ...] = ()
+
+    @property
+    def fingerprint(self) -> str:
+        return self.text
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+def _render(token: Token) -> str:
+    if token.kind is TokenKind.STRING:
+        escaped = token.text.replace("'", "''")
+        return f"'{escaped}'"
+    if token.kind is TokenKind.PARAM:
+        return f":{token.text}"
+    return token.text
+
+
+def _number_value(text: str) -> Any:
+    if "." in text:
+        import decimal
+
+        return decimal.Decimal(text)
+    return int(text)
+
+
+def parameterize(sql: str) -> ParameterizedQuery:
+    """Extract literal constants from ``sql`` into a binding vector."""
+    tokens = tokenize(sql)
+    taken = {
+        token.text for token in tokens if token.kind is TokenKind.PARAM
+    }
+
+    counter = 0
+
+    def fresh_name() -> str:
+        nonlocal counter
+        while True:
+            name = f"__p{counter}"
+            counter += 1
+            if name not in taken:
+                return name
+
+    out: List[Token] = []
+    bindings: Dict[str, Any] = {}
+    types: List[str] = []
+    in_list_depth = 0  # paren depth inside an IN (...) list, 0 = outside
+    in_order_by = False  # numbers are output ordinals here
+
+    def emit_parameter(value: Any, at: Token) -> None:
+        name = fresh_name()
+        bindings[name] = value
+        types.append(_type_name(value))
+        out.append(Token(TokenKind.PARAM, name, at.line, at.column))
+
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind is TokenKind.EOF:
+            break
+        if in_list_depth:
+            if token.kind is TokenKind.PUNCT and token.text == "(":
+                in_list_depth += 1
+            elif token.kind is TokenKind.PUNCT and token.text == ")":
+                in_list_depth -= 1
+            out.append(token)
+            index += 1
+            continue
+        if (
+            token.is_keyword("in")
+            and tokens[index + 1].kind is TokenKind.PUNCT
+            and tokens[index + 1].text == "("
+        ):
+            in_list_depth = 1
+            out.append(token)
+            out.append(tokens[index + 1])
+            index += 2
+            continue
+        if (
+            token.kind is TokenKind.IDENT
+            and token.text.lower() == "date"
+            and index + 3 < len(tokens)
+            and tokens[index + 1].kind is TokenKind.PUNCT
+            and tokens[index + 1].text == "("
+            and tokens[index + 2].kind is TokenKind.STRING
+            and tokens[index + 3].kind is TokenKind.PUNCT
+            and tokens[index + 3].text == ")"
+        ):
+            try:
+                value = datetime.date.fromisoformat(tokens[index + 2].text)
+            except ValueError:
+                value = None
+            if value is not None:
+                emit_parameter(value, token)
+                index += 4
+                continue
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "order":
+                in_order_by = True
+            elif token.text in ("fetch", "union", "select"):
+                in_order_by = False
+        elif token.kind is TokenKind.PUNCT and token.text == ")":
+            # Closing a derived table / parenthesized branch ends any
+            # ORDER BY clause that was open inside it.
+            in_order_by = False
+        if token.kind is TokenKind.NUMBER:
+            # FETCH FIRST n and ORDER BY ordinals stay literal: both
+            # are plan shape, not predicate constants.
+            if in_order_by or (out and out[-1].is_keyword("first")):
+                out.append(token)
+            else:
+                emit_parameter(_number_value(token.text), token)
+            index += 1
+            continue
+        if token.kind is TokenKind.STRING:
+            emit_parameter(token.text, token)
+            index += 1
+            continue
+        out.append(token)
+        index += 1
+
+    text = " ".join(_render(token) for token in out)
+    return ParameterizedQuery(
+        text=text, bindings=bindings, type_signature=tuple(types)
+    )

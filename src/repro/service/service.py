@@ -1,0 +1,281 @@
+"""The concurrent query front end.
+
+:class:`QueryService` owns a database handle, a plan cache, and a small
+worker pool. Statements are submitted to a bounded admission queue;
+when the queue is full the service rejects immediately
+(:class:`~repro.errors.AdmissionError`) instead of building an unbounded
+backlog — callers see backpressure, not latency collapse.
+
+Execution notes for the concurrent path:
+
+* plans are cached, operator trees are not — a fresh tree is built per
+  execution (operators carry per-run state such as probe caches), while
+  the expression kernels inside it come from the compile memo the cache
+  warmed;
+* parameter bindings live in a thread-local scope
+  (:mod:`repro.expr.bindings`), so two workers can run the same cached
+  plan with different bindings simultaneously;
+* per-query I/O counters are meaningless under concurrency, so the
+  service never calls ``database.reset_io`` — the buffer pool stays
+  warm and shared, like a server's.
+
+Metrics: every completed query records its wall-clock latency; $p50/p95
+and cache hit rates are available from :meth:`QueryService.stats` and
+the ``service.*`` instrument counters.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api import QueryResult, execute
+from repro.core.instrument import count
+from repro.cost.model import CostModel
+from repro.errors import AdmissionError, ServiceError
+from repro.optimizer import OptimizerConfig
+from repro.service.cache import PlanCache, config_fingerprint
+from repro.storage import Database
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time summary of service behaviour."""
+
+    queries: int
+    rejected: int
+    p50_ms: float
+    p95_ms: float
+    cache: Dict[str, int] = field(default_factory=dict)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+class QueryService:
+    """Serve SQL statements concurrently through a parameterized plan
+    cache.
+
+    Typical use::
+
+        service = QueryService(db, workers=4, queue_depth=64)
+        try:
+            future = service.submit("select ... where k = 42")
+            result = future.result()
+        finally:
+            service.close()
+
+    ``query()`` is the synchronous convenience wrapper. Each call may
+    override the optimizer config; a config change is a different cache
+    key (and stale entries are swept on the next version change).
+    """
+
+    LATENCY_WINDOW = 4096
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[OptimizerConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        workers: int = 4,
+        queue_depth: int = 64,
+        cache_size: int = 128,
+        mode: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ServiceError("need at least one worker")
+        self.database = database
+        self.config = config or OptimizerConfig()
+        self.cost_model = cost_model or CostModel()
+        self.cache = PlanCache(cache_size)
+        self.mode = mode
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._queries = 0
+        self._rejected = 0
+        self._last_versions = (
+            database.catalog.version,
+            database.catalog.stats_version,
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-svc-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> "Future[QueryResult]":
+        """Enqueue a statement; returns a future for its result.
+
+        Raises :class:`AdmissionError` when the admission queue is at
+        depth — the backpressure contract: callers retry or shed load.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        future: "Future[QueryResult]" = Future()
+        try:
+            self._queue.put_nowait((sql, parameters, config, future))
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            count("service.rejected")
+            raise AdmissionError(
+                f"admission queue full ({self._queue.maxsize} deep); "
+                "retry later"
+            ) from None
+        return future
+
+    def query(
+        self,
+        sql: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> QueryResult:
+        """Submit and wait."""
+        return self.submit(sql, parameters, config).result()
+
+    def explain(
+        self,
+        sql: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> str:
+        """Plan (through the cache) without executing.
+
+        The rendering includes the cache verdict and current service
+        counters, so EXPLAIN output answers "would this replan?".
+        """
+        plan, _bindings, status = self._plan(sql, parameters, config)
+        stats = self.stats()
+        lines = [
+            plan.explain(show_cost=True),
+            f"plan cache: {status} "
+            f"(hits={stats.cache['hits']} misses={stats.cache['misses']} "
+            f"invalidations={stats.cache['invalidations']})",
+            f"service: {stats.queries} queries, "
+            f"p50={stats.p50_ms:.2f}ms p95={stats.p95_ms:.2f}ms",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _plan(self, sql, parameters, config):
+        catalog = self.database.catalog
+        versions = (catalog.version, catalog.stats_version)
+        if versions != self._last_versions:
+            # DDL or a stats refresh happened: old entries can never be
+            # looked up again (versions are in the key); sweep them so
+            # they are counted and freed.
+            self.cache.invalidate_stale(*versions)
+            self._last_versions = versions
+        return self.cache.plan_for(
+            self.database,
+            sql,
+            parameters=parameters,
+            config=config or self.config,
+            cost_model=self.cost_model,
+        )
+
+    def _run(self, sql, parameters, config) -> QueryResult:
+        started = time.perf_counter()
+        plan, bindings, status = self._plan(sql, parameters, config)
+        result = execute(
+            self.database,
+            plan,
+            parameters=bindings,
+            mode=self.mode,
+            reset_io=False,
+            cache_status=status,
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._lock:
+            self._queries += 1
+            self._latencies_ms.append(elapsed_ms)
+            if len(self._latencies_ms) > self.LATENCY_WINDOW:
+                del self._latencies_ms[: -self.LATENCY_WINDOW]
+        count("service.queries")
+        return result
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            sql, parameters, config, future = item
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            try:
+                future.set_result(self._run(sql, parameters, config))
+            except BaseException as error:  # deliver, don't kill worker
+                future.set_exception(error)
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def reconfigure(self, config: OptimizerConfig) -> int:
+        """Change the default optimizer config; drops now-mismatched
+        cache entries. Returns how many entries were invalidated."""
+        self.config = config
+        return self.cache.invalidate_config(config_fingerprint(config))
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+            queries = self._queries
+            rejected = self._rejected
+        return ServiceStats(
+            queries=queries,
+            rejected=rejected,
+            p50_ms=_percentile(latencies, 0.50),
+            p95_ms=_percentile(latencies, 0.95),
+            cache=self.cache.stats(),
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the workers down."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

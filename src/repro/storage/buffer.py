@@ -9,6 +9,7 @@ nested-loop join exploits) or random.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Tuple
@@ -83,41 +84,53 @@ class BufferPool:
         self.stats = IoStats()
         self._resident: "OrderedDict[PageId, None]" = OrderedDict()
         self._last_missed_page: Dict[Hashable, int] = {}
+        # The query service executes plans on a worker pool; LRU
+        # reordering and eviction are multi-step OrderedDict mutations
+        # that must not interleave.
+        self._lock = threading.Lock()
 
     def access(self, page_id: PageId) -> bool:
         """Record an access to ``page_id``; returns True on a hit."""
-        if page_id in self._resident:
-            self._resident.move_to_end(page_id)
-            self.stats.hits += 1
-            return True
-        file_id, page_no = page_id
-        previous = self._last_missed_page.get(file_id)
-        if previous is not None and 0 < page_no - previous <= self.PREFETCH_WINDOW:
-            self.stats.sequential_misses += 1
-        else:
-            self.stats.random_misses += 1
-        self._last_missed_page[file_id] = page_no
-        self._resident[page_id] = None
-        if len(self._resident) > self.capacity_pages:
-            self._resident.popitem(last=False)
-        return False
+        with self._lock:
+            if page_id in self._resident:
+                self._resident.move_to_end(page_id)
+                self.stats.hits += 1
+                return True
+            file_id, page_no = page_id
+            previous = self._last_missed_page.get(file_id)
+            if (
+                previous is not None
+                and 0 < page_no - previous <= self.PREFETCH_WINDOW
+            ):
+                self.stats.sequential_misses += 1
+            else:
+                self.stats.random_misses += 1
+            self._last_missed_page[file_id] = page_no
+            self._resident[page_id] = None
+            if len(self._resident) > self.capacity_pages:
+                self._resident.popitem(last=False)
+            return False
 
     def invalidate(self, file_id: Hashable) -> None:
         """Evict every page of one file (e.g. after a table reload)."""
-        for page_id in [
-            resident for resident in self._resident if resident[0] == file_id
-        ]:
-            del self._resident[page_id]
-        self._last_missed_page.pop(file_id, None)
+        with self._lock:
+            for page_id in [
+                resident
+                for resident in self._resident
+                if resident[0] == file_id
+            ]:
+                del self._resident[page_id]
+            self._last_missed_page.pop(file_id, None)
 
     def reset_stats(self) -> None:
         self.stats = IoStats()
 
     def clear(self) -> None:
         """Drop all resident pages (cold cache) and reset counters."""
-        self._resident.clear()
-        self._last_missed_page.clear()
-        self.reset_stats()
+        with self._lock:
+            self._resident.clear()
+            self._last_missed_page.clear()
+            self.reset_stats()
 
     def resident_count(self) -> int:
         return len(self._resident)

@@ -168,6 +168,12 @@ class Database:
     def analyze_all(self) -> None:
         for stored in self._stores.values():
             stored.analyze()
+        self.catalog.note_stats_refresh()
+
+    def analyze_table(self, table_name: str) -> None:
+        """Refresh one table's statistics (a versioned stats change)."""
+        self.store(table_name).analyze()
+        self.catalog.note_stats_refresh()
 
     def reset_io(self, cold: bool = False) -> None:
         """Reset I/O counters; ``cold=True`` also empties the cache."""

@@ -1,0 +1,135 @@
+"""The cache-invalidation matrix: what forces a re-plan, what must not.
+
+Each row of the matrix exercises one component of the cache key:
+
+* unchanged context        -> guaranteed hit
+* DDL (a new index)        -> miss (catalog version in the key)
+* statistics refresh       -> miss (stats version in the key)
+* optimizer config toggle  -> miss (config fingerprint in the key)
+
+Asserted through the cache's own counters, so the test also pins the
+counter semantics the bench and ``stats()`` report.
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    Index,
+    OptimizerConfig,
+    TableSchema,
+    run_query,
+)
+from repro.service import PlanCache, QueryService
+from repro.sqltypes import INTEGER
+
+SQL = "select x, y from t where x = 17"
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [Column("x", INTEGER, nullable=False), Column("y", INTEGER)],
+            primary_key=("x",),
+        ),
+        rows=[(i, i % 7) for i in range(500)],
+    )
+    return db
+
+
+def expect(cache, db, sql, status, config=None):
+    result = run_query(db, sql, cache=cache, config=config)
+    assert result.cache_status == status
+    return result
+
+
+def test_unchanged_context_guarantees_hit(db):
+    cache = PlanCache()
+    expect(cache, db, SQL, "miss")
+    for _ in range(3):
+        expect(cache, db, SQL, "hit")
+    assert cache.stats()["hits"] == 3
+    assert cache.stats()["misses"] == 1
+
+
+def test_ddl_forces_miss(db):
+    cache = PlanCache()
+    expect(cache, db, SQL, "miss")
+    expect(cache, db, SQL, "hit")
+    before = db.catalog.version
+    db.create_index(Index.on("t_y", "t", ["y"]))
+    assert db.catalog.version == before + 1
+    expect(cache, db, SQL, "miss")  # old entry unreachable: version in key
+    expect(cache, db, SQL, "hit")
+    # The stale entry is still occupying the LRU until swept.
+    assert cache.invalidate_stale(
+        db.catalog.version, db.catalog.stats_version
+    ) == 1
+    assert cache.stats()["invalidations"] == 1
+
+
+def test_stats_refresh_forces_miss(db):
+    cache = PlanCache()
+    expect(cache, db, SQL, "miss")
+    before = db.catalog.stats_version
+    db.analyze_table("t")
+    assert db.catalog.stats_version == before + 1
+    expect(cache, db, SQL, "miss")
+    db.analyze_all()
+    expect(cache, db, SQL, "miss")
+    expect(cache, db, SQL, "hit")
+    assert cache.stats()["misses"] == 3
+
+
+def test_config_toggle_forces_miss(db):
+    cache = PlanCache()
+    expect(cache, db, SQL, "miss", config=OptimizerConfig())
+    expect(cache, db, SQL, "hit", config=OptimizerConfig())
+    expect(cache, db, SQL, "miss", config=OptimizerConfig.disabled())
+    expect(cache, db, SQL, "hit", config=OptimizerConfig.disabled())
+    # Both plans coexist: the config fingerprint keeps them apart.
+    assert cache.stats()["entries"] == 2
+
+
+def test_service_sweeps_stale_entries_on_version_change(db):
+    with QueryService(db, workers=1) as service:
+        service.query(SQL)
+        service.query(SQL)
+        assert service.cache.stats() == {
+            **service.cache.stats(),
+            "hits": 1,
+            "misses": 1,
+            "invalidations": 0,
+        }
+        db.create_index(Index.on("t_y2", "t", ["y"]))
+        service.query(SQL)  # observes the version bump, sweeps, replans
+        stats = service.cache.stats()
+        assert stats["misses"] == 2
+        assert stats["invalidations"] == 1
+        assert stats["entries"] == 1
+
+
+def test_capacity_eviction_is_lru(db):
+    cache = PlanCache(capacity=2)
+    expect(cache, db, "select x from t where x = 1", "miss")
+    expect(cache, db, "select y from t where x = 2", "miss")
+    expect(cache, db, "select x from t where x = 3", "hit")  # same shape as first
+    expect(cache, db, "select x, y from t where x = 4", "miss")  # evicts 'select y'
+    expect(cache, db, "select y from t where x = 5", "miss")
+    assert cache.stats()["evictions"] == 2
+    assert len(cache) == 2
+
+
+def test_run_query_surfaces_cache_status_in_analyzed(db):
+    cache = PlanCache()
+    first = run_query(db, SQL, cache=cache)
+    second = run_query(db, SQL, cache=cache)
+    assert "plan cache: miss" in first.analyzed
+    assert "plan cache: hit" in second.analyzed
+    uncached = run_query(db, SQL)
+    assert uncached.cache_status is None
+    assert "plan cache" not in uncached.analyzed

@@ -1,0 +1,81 @@
+"""Auto-parameterization unit tests: what gets hoisted, what stays.
+
+The carve-outs are the load-bearing part — a literal that changes plan
+*shape* (IN-list arity, FETCH FIRST, ORDER BY ordinals) must never be
+masked by a parameter marker, or two statements with different plans
+would share a cache entry.
+"""
+
+import datetime
+from decimal import Decimal
+
+from repro.service import parameterize
+
+
+def test_numbers_and_strings_become_parameters():
+    q = parameterize("select x from t where a = 3 and b = 'hi'")
+    assert q.bindings == {"__p0": 3, "__p1": "hi"}
+    assert q.type_signature == ("int", "str")
+    assert ":__p0" in q.text and ":__p1" in q.text
+    assert "3" not in q.text and "'hi'" not in q.text
+
+
+def test_fingerprint_ignores_literal_spelling_and_whitespace():
+    a = parameterize("select x from t where seg = 3")
+    b = parameterize("SELECT  x  FROM t WHERE seg=7")
+    assert a.fingerprint == b.fingerprint
+    assert a.bindings != b.bindings
+
+
+def test_decimal_literals_keep_scale():
+    q = parameterize("select x from t where a > 0.05")
+    assert q.bindings["__p0"] == Decimal("0.05")
+    assert q.type_signature == ("Decimal",)
+
+
+def test_date_construct_collapses_to_one_parameter():
+    q = parameterize("select x from t where d >= date('1995-03-15')")
+    assert q.bindings == {"__p0": datetime.date(1995, 3, 15)}
+    assert "date" not in q.text.lower()
+
+
+def test_in_list_elements_stay_literal():
+    q = parameterize("select x from t where a in (1, 2, 3) and b = 4")
+    assert "( 1 , 2 , 3 )" in q.text
+    assert q.bindings == {"__p0": 4}
+
+
+def test_nested_parens_inside_in_list():
+    q = parameterize("select x from t where (a) in ((1), (2)) and b = 9")
+    assert q.bindings == {"__p0": 9}
+
+
+def test_fetch_first_stays_literal():
+    q = parameterize(
+        "select x from t order by x fetch first 10 rows only"
+    )
+    assert q.bindings == {}
+    assert "10" in q.text
+
+
+def test_order_by_ordinals_stay_literal():
+    q = parameterize("select x, y from t where a = 5 order by 2 desc, 1")
+    assert q.bindings == {"__p0": 5}
+    assert "order by 2 desc , 1" in q.text
+
+
+def test_null_keyword_untouched():
+    q = parameterize("select x from t where a is null")
+    assert q.bindings == {}
+
+
+def test_existing_host_variables_survive_without_collision():
+    q = parameterize("select x from t where a = :__p0 and b = 2")
+    assert ":__p0" in q.text
+    assert "__p0" not in q.bindings
+    assert list(q.bindings.values()) == [2]
+
+
+def test_string_quotes_reescaped_in_fingerprint():
+    q = parameterize("select x from t where a in ('it''s', 'b')")
+    assert "'it''s'" in q.text

@@ -1,0 +1,33 @@
+"""Tier-1 wrapper around ``tools/check_imports.py``.
+
+The layering in CLAUDE.md is enforceable, so enforce it: any upward
+import inside ``src/repro`` fails the suite with the same message the
+standalone lint prints.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_imports", REPO_ROOT / "tools" / "check_imports.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_upward_imports():
+    checker = _load_checker()
+    problems = checker.check(REPO_ROOT / "src")
+    assert not problems, "\n".join(problems)
+
+
+def test_service_layer_is_registered_above_api():
+    checker = _load_checker()
+    order = checker.LAYERS
+    assert order.index("service") > order.index("api")
+    assert order.index("service") < order.index("tpcd")
