@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.cost.model import CostModel
 from repro.executor.build import build_executor
-from repro.executor.context import ExecutionContext
+from repro.executor.context import CancelToken, ExecutionContext
 from repro.expr.bindings import parameter_scope
 from repro.optimizer import Optimizer, OptimizerConfig, Plan
 from repro.storage import Database
@@ -132,6 +132,7 @@ def execute(
     mode: Optional[str] = None,
     reset_io: bool = True,
     cache_status: Optional[str] = None,
+    cancel_token: Optional[CancelToken] = None,
 ) -> QueryResult:
     """Execute an existing plan, measuring real and simulated time.
 
@@ -141,15 +142,19 @@ def execute(
     (``explain(analyze=...)`` form). ``reset_io=False`` keeps the
     buffer-pool counters untouched — the query service's concurrent
     path, where per-query global I/O numbers would be fiction anyway.
+    ``cancel_token`` arms the operators' cooperative checkpoints — a
+    tripped token raises :class:`~repro.errors.QueryTimeout` /
+    :class:`~repro.errors.QueryCancelled` out of the batch loops.
     """
     if reset_io:
         database.reset_io(cold=cold_cache)
     if context is None:
-        context = (
-            ExecutionContext(database)
-            if mode is None
-            else ExecutionContext(database, mode=mode)
-        )
+        kwargs = {}
+        if mode is not None:
+            kwargs["mode"] = mode
+        if cancel_token is not None:
+            kwargs["cancel_token"] = cancel_token
+        context = ExecutionContext(database, **kwargs)
     operator = build_executor(plan, database)
     started = time.perf_counter()
     with parameter_scope(parameters):

@@ -138,6 +138,9 @@ def table1(
         off_sim=off_sim,
         wall_ratio=off_wall / on_wall,
         sim_ratio=off_sim / on_sim,
+        est_ratio=(
+            off_result.plan.cost.total_ms / on_result.plan.cost.total_ms
+        ),
     )
     assert on_result.rows == off_result.rows
     return report
@@ -1136,6 +1139,7 @@ def service_throughput(
     import time as _time
 
     from repro.api import run_query
+    from repro.errors import AdmissionError, QueryTimeout
     from repro.service import QueryService
     from repro.verify.oracle import normalized
 
@@ -1174,6 +1178,40 @@ def service_throughput(
                 f"{sql[:80]}..."
             )
 
+    # Overloaded: the same replay against a deliberately undersized
+    # service — a tiny admission queue plus a tight per-query deadline.
+    # This measures the resilience path instead of raw throughput:
+    # arrivals beyond the queue fail fast with AdmissionError, admitted
+    # stragglers are stopped by their deadline mid-execution, and the
+    # service keeps draining the whole time.
+    overload_deadline = 0.25
+    completed = timed_out = rejected = 0
+    with QueryService(
+        database, workers=2, queue_depth=8,
+        default_timeout=overload_deadline,
+    ) as constrained:
+        overload_started = _time.perf_counter()
+        pending = []
+        for _class_name, sql in workload:
+            try:
+                pending.append(constrained.submit(sql))
+            except AdmissionError:
+                rejected += 1
+        for future in pending:
+            try:
+                future.result()
+                completed += 1
+            except QueryTimeout:
+                timed_out += 1
+        overload_elapsed = _time.perf_counter() - overload_started
+        overload_stats = constrained.stats()
+    if overload_stats.timeouts != timed_out or overload_stats.rejected != rejected:
+        raise AssertionError(
+            "service resilience counters disagree with observed outcomes: "
+            f"stats timeouts={overload_stats.timeouts} rejected="
+            f"{overload_stats.rejected} vs seen {timed_out}/{rejected}"
+        )
+
     cold_qps = len(workload) / cold_elapsed
     warm_qps = len(workload) / warm_elapsed
     speedup = warm_qps / cold_qps
@@ -1191,6 +1229,17 @@ def service_throughput(
     report.add_row(
         "warm plan cache", f"{warm_elapsed:.2f}", f"{warm_qps:.1f}",
         f"{speedup:.2f}x",
+    )
+    report.add_row(
+        f"overloaded (queue=8, {overload_deadline * 1000:.0f}ms deadline)",
+        f"{overload_elapsed:.2f}",
+        f"{completed / overload_elapsed:.1f}",
+        "-",
+    )
+    report.add_note(
+        f"overload scenario: {completed} completed, {timed_out} stopped "
+        f"by the {overload_deadline * 1000:.0f}ms deadline, {rejected} "
+        "rejected at admission — every submitted statement resolved"
     )
     report.add_note(
         f"warm pass: p50={stats.p50_ms:.1f}ms p95={stats.p95_ms:.1f}ms, "
@@ -1216,6 +1265,14 @@ def service_throughput(
             "p95_ms": stats.p95_ms,
             "hit_rate": hit_rate,
             "rejected": stats.rejected,
+        },
+        "overloaded": {
+            "elapsed_seconds": overload_elapsed,
+            "deadline_seconds": overload_deadline,
+            "queue_depth": 8,
+            "completed": completed,
+            "timeouts": timed_out,
+            "rejected": rejected,
         },
         "speedup": speedup,
     }

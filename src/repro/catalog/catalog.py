@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List
 
 from repro.catalog.index import Index
 from repro.catalog.table import TableSchema
 from repro.errors import CatalogError
+
+# Process-wide catalog identity allocator. ``next()`` on an
+# ``itertools.count`` is atomic under the GIL, so concurrent Database
+# construction cannot mint duplicate identities; unlike ``id(self)``
+# the tokens are never recycled after garbage collection, which is
+# what makes them safe to embed in plan-cache keys.
+_IDENTITIES = itertools.count(1)
 
 
 class Catalog:
@@ -18,11 +26,18 @@ class Catalog:
     statistics refreshes (see :meth:`note_stats_refresh`; the storage
     layer's analyze entry points call it). A cached plan embeds both in
     its key, so any change makes every older entry unreachable.
+
+    ``identity`` is a process-unique token minted at construction. It
+    is the third leg of the plan-cache key: version counters only order
+    changes *within* one catalog, so two databases whose counters
+    happen to coincide would otherwise share cache entries — and a plan
+    resolved against the wrong schema returns wrong rows, not an error.
     """
 
     def __init__(self):
         self._tables: Dict[str, TableSchema] = {}
         self._indexes: Dict[str, Index] = {}
+        self.identity = next(_IDENTITIES)
         self.version = 0
         self.stats_version = 0
 

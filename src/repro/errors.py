@@ -75,3 +75,26 @@ class ServiceError(ReproError):
 
 class AdmissionError(ServiceError):
     """Raised when the service's admission queue is full (backpressure)."""
+
+
+class ServiceClosed(ServiceError):
+    """Raised for work submitted to (or stranded in) a closed service.
+
+    Graceful shutdown fails every still-queued future with this, so a
+    caller blocked on ``.result()`` unblocks with a typed error instead
+    of hanging forever.
+    """
+
+
+class QueryTimeout(ServiceError):
+    """Raised when a query exceeds its deadline.
+
+    Deadlines are cooperative: executor operators poll their execution
+    context's cancellation token at batch boundaries, so the timeout
+    surfaces from inside a running scan/sort/join, not just at
+    admission time.
+    """
+
+
+class QueryCancelled(ServiceError):
+    """Raised when a query's cancellation token is tripped explicitly."""

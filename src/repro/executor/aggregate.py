@@ -213,7 +213,12 @@ class HashGroupByOp(_GroupByBase):
         ] = {}
         get = groups.get
         count = 0
+        token = context.cancel_token
         for batch in self.child.batches(context):
+            # Pipeline breaker: the whole input accumulates before the
+            # first output batch, so checkpoint per input batch.
+            if token is not None:
+                token.check()
             markers = markers_of(batch)
             count += len(batch)
             for marker, row in zip(markers, batch):

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryCancelled, QueryTimeout
 from repro.storage import Database
 
 # Executor engine modes. ``compiled`` (the default) evaluates
@@ -24,6 +25,83 @@ DEFAULT_BATCH_SIZE = 1024
 # DEFAULT_BATCH_SIZE; interpreted gets 1 — the pre-batching Volcano
 # row-at-a-time configuration it exists to preserve).
 BATCH_SIZE_AUTO = 0
+
+
+# Fault-injection slot (see repro.verify.faults). None — the default —
+# compiles the hooks out: every CancelToken.check() pays one pointer
+# test and nothing else. The verify layer installs a callable here to
+# force timeouts/cancellations mid-plan deterministically.
+_FAULT_HOOK: Optional[Callable[["CancelToken"], None]] = None
+
+
+def set_fault_hook(
+    hook: Optional[Callable[["CancelToken"], None]],
+) -> Optional[Callable[["CancelToken"], None]]:
+    """Install (or clear, with None) the checkpoint fault hook.
+
+    Returns the previous hook so callers can restore it.
+    """
+    global _FAULT_HOOK
+    previous = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return previous
+
+
+class CancelToken:
+    """Cooperative cancellation + deadline for one query execution.
+
+    The token travels on the :class:`ExecutionContext`; operators poll
+    :meth:`check` at batch boundaries (the shared chokepoint is
+    ``PhysicalOperator.batches``), so a tripped token stops a runaway
+    scan/sort/join from *inside* its pull loop. Tripping is one-way:
+    there is no reset, a token serves exactly one query.
+
+    ``timeout_seconds=None`` means no deadline; the token can still be
+    cancelled explicitly. Monotonic time keeps deadlines immune to
+    wall-clock adjustments.
+    """
+
+    __slots__ = ("deadline", "_cancelled", "_reason", "__weakref__")
+
+    def __init__(self, timeout_seconds: Optional[float] = None):
+        self.deadline = (
+            time.monotonic() + timeout_seconds
+            if timeout_seconds is not None
+            else None
+        )
+        self._cancelled = False
+        self._reason = ""
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Trip the token; the next checkpoint raises QueryCancelled."""
+        self._reason = reason
+        self._cancelled = True
+
+    def expire(self) -> None:
+        """Force the deadline into the past (fault injection / tests)."""
+        self.deadline = time.monotonic() - 1.0
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None when unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check(self) -> None:
+        """Raise if the query should stop; otherwise return cheaply."""
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK(self)
+        if self._cancelled:
+            raise QueryCancelled(self._reason)
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise QueryTimeout("query exceeded its deadline")
 
 
 def default_exec_mode() -> str:
@@ -76,6 +154,8 @@ class ExecutionContext:
         mode: ``compiled`` (closure kernels) or ``interpreted``
             (tree-walking reference); defaults to the REPRO_EXEC env
             var, falling back to compiled.
+        cancel_token: cooperative deadline/cancellation token polled at
+            operator batch boundaries; None disables checkpointing.
         metrics: per-operator runtime counters keyed by operator object,
             rendered by ``PhysicalOperator.explain(analyze=context)``.
     """
@@ -87,6 +167,7 @@ class ExecutionContext:
     rows_hashed: int = 0
     batch_size: int = BATCH_SIZE_AUTO
     mode: str = field(default_factory=default_exec_mode)
+    cancel_token: Optional[CancelToken] = None
     metrics: Dict[object, OperatorMetrics] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

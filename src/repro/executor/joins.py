@@ -178,8 +178,14 @@ class NestedLoopJoinOp(_BinaryJoin):
         inner_rows = self.inner.execute(context)
         padding = (None,) * len(self.inner.schema)
         left_outer = self.left_outer
+        token = context.cancel_token
         for batch in self.outer.batches(context):
             for outer_row in batch:
+                # Each outer row walks the whole materialized inner: a
+                # selective residual can burn seconds between output
+                # batches, so this loop checkpoints per outer row.
+                if token is not None:
+                    token.check()
                 matched = False
                 for inner_row in inner_rows:
                     joined = outer_row + inner_row
@@ -406,7 +412,12 @@ class HashJoinOp(_BinaryJoin):
         table: dict = {}
         setdefault = table.setdefault
         build_count = 0
+        token = context.cancel_token
         for batch in self.inner.batches(context):
+            # Build side is a pipeline breaker: checkpoint per build
+            # batch so a huge inner stops before the probe phase.
+            if token is not None:
+                token.check()
             for values, inner_row in zip(build_keys(batch), batch):
                 if values is None:
                     continue

@@ -77,11 +77,22 @@ class PhysicalOperator:
         self.schema = schema
 
     def batches(self, context: ExecutionContext) -> Iterator[Batch]:
-        """Instrumented batch stream — the primary pull interface."""
+        """Instrumented batch stream — the primary pull interface.
+
+        This wrapper is also the universal cancellation checkpoint: the
+        context's token (when present) is polled before every batch is
+        pulled, on every operator in the tree, in both engines. An
+        operator only needs its own explicit ``token.check()`` when a
+        single pull can do unbounded work without pulling a child batch
+        (per-row expansion loops — see the nested-loop join).
+        """
         metrics = context.metrics_for(self)
         produce = self._batches(context)
+        token = context.cancel_token
         perf_counter = time.perf_counter
         while True:
+            if token is not None:
+                token.check()
             started = perf_counter()
             try:
                 batch = next(produce)

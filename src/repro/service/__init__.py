@@ -14,10 +14,13 @@ so the optimizer produces the *same* plan for ``seg = 3`` and
   variables plus a binding vector (conservative carve-outs for literals
   that change plan shape);
 * :mod:`repro.service.cache` keys finalized plans on the normalized
-  statement fingerprint, parameter-type signature, catalog and stats
-  versions, and the optimizer-config fingerprint;
+  statement fingerprint, parameter-type signature, catalog *identity*,
+  catalog and stats versions, and the optimizer-config fingerprint,
+  with single-flight planning on concurrent misses;
 * :mod:`repro.service.service` runs queries on a worker pool with a
-  bounded admission queue and per-query latency metrics.
+  bounded admission queue, per-query deadlines and cooperative
+  cancellation, graceful shutdown, a slow-query log, and per-query
+  latency metrics.
 
 Layering: ``service`` sits above ``api`` (it orchestrates planning and
 execution); nothing below imports it.
@@ -25,7 +28,7 @@ execution); nothing below imports it.
 
 from repro.service.cache import CachedPlan, PlanCache, config_fingerprint
 from repro.service.parameterize import ParameterizedQuery, parameterize
-from repro.service.service import QueryService, ServiceStats
+from repro.service.service import QueryService, ServiceStats, SlowQuery
 
 __all__ = [
     "CachedPlan",
@@ -35,4 +38,5 @@ __all__ = [
     "parameterize",
     "QueryService",
     "ServiceStats",
+    "SlowQuery",
 ]

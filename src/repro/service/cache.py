@@ -5,6 +5,11 @@ Entries are keyed on everything a finalized plan depends on:
 * the normalized statement fingerprint (see
   :mod:`repro.service.parameterize`),
 * the parameter-type signature,
+* the catalog *identity* (a process-unique token minted per
+  :class:`repro.catalog.Catalog` — version counters only order changes
+  within one catalog, so without the identity two databases whose
+  counters coincide would share plans and silently return each other's
+  columns),
 * the catalog DDL version and statistics version
   (:class:`repro.catalog.Catalog` ticks both),
 * the :class:`~repro.optimizer.config.OptimizerConfig` fingerprint.
@@ -14,7 +19,14 @@ stats refresh the old entries simply cannot be looked up again. The
 explicit :meth:`PlanCache.invalidate_stale` hook additionally *removes*
 them (and counts them as invalidations) so the LRU is not clogged by
 unreachable plans; the service calls it whenever it observes a version
-or config change.
+or config change. The sweep is scoped to one catalog identity, so a
+cache shared across databases never drops another database's plans.
+
+Planning is **single-flight**: concurrent misses on one key elect a
+single builder; the others park on a per-key barrier and reuse the
+built entry (counted in ``single_flight_waits`` and reported as hits —
+they did not plan). Without this, N workers racing one cold statement
+would plan it N times.
 
 A cached entry stores the finalized physical plan and a warm operator
 tree. The warm tree is built once at insert, which drives every one of
@@ -52,6 +64,7 @@ class CachedPlan:
     plan: Plan
     fingerprint: str
     type_signature: Tuple[str, ...]
+    catalog_identity: int
     catalog_version: int
     stats_version: int
     config_key: Tuple[Any, ...]
@@ -62,7 +75,7 @@ class CachedPlan:
     hits: int = 0
 
 
-CacheKey = Tuple[str, Tuple[str, ...], int, int, Tuple[Any, ...]]
+CacheKey = Tuple[str, Tuple[str, ...], int, int, int, Tuple[Any, ...]]
 
 
 class PlanCache:
@@ -70,8 +83,11 @@ class PlanCache:
 
     Counters land in the ``service.cache`` instrument group:
     ``service.cache.hits`` / ``misses`` / ``evictions`` /
-    ``invalidations``. The same numbers are kept exactly (merged across
-    threads) on the instance for tests and ``stats()``.
+    ``invalidations`` / ``single_flight_waits``. The same numbers are
+    kept exactly (merged across threads) on the instance for tests and
+    ``stats()``. Every :meth:`plan_for` call lands exactly one hit or
+    one miss — a single-flight waiter counts as a hit (it reused a plan
+    it did not build), keeping the counters deterministic under races.
     """
 
     def __init__(self, capacity: int = 128):
@@ -80,15 +96,20 @@ class PlanCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        # Single-flight barriers: key -> Event set when the build ends
+        # (successfully or not).
+        self._building: Dict[CacheKey, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.single_flight_waits = 0
 
     @staticmethod
     def key_for(
         fingerprint: str,
         type_signature: Tuple[str, ...],
+        catalog_identity: int,
         catalog_version: int,
         stats_version: int,
         config_key: Tuple[Any, ...],
@@ -96,6 +117,7 @@ class PlanCache:
         return (
             fingerprint,
             type_signature,
+            catalog_identity,
             catalog_version,
             stats_version,
             config_key,
@@ -103,16 +125,22 @@ class PlanCache:
 
     def get(self, key: CacheKey) -> Optional[CachedPlan]:
         with self._lock:
-            entry = self._entries.get(key)
+            entry = self._hit_locked(key)
             if entry is None:
                 self.misses += 1
                 count("service.cache.misses")
-                return None
-            self._entries.move_to_end(key)
-            entry.hits += 1
-            self.hits += 1
-            count("service.cache.hits")
             return entry
+
+    def _hit_locked(self, key: CacheKey) -> Optional[CachedPlan]:
+        """LRU-touch and count a hit; None (uncounted) on absence."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hits += 1
+        count("service.cache.hits")
+        return entry
 
     def put(self, key: CacheKey, entry: CachedPlan) -> None:
         with self._lock:
@@ -124,19 +152,27 @@ class PlanCache:
                 count("service.cache.evictions")
 
     def invalidate_stale(
-        self, catalog_version: int, stats_version: int
+        self,
+        catalog_identity: int,
+        catalog_version: int,
+        stats_version: int,
     ) -> int:
-        """Drop entries planned under older catalog/stats versions.
+        """Drop *this catalog's* entries planned under older versions.
 
         Version-in-key already makes them unreachable; this hook frees
-        them and counts the invalidation. Returns the number dropped.
+        them and counts the invalidation. Entries belonging to other
+        catalog identities are untouched — one database's DDL must not
+        sweep a co-tenant's plans. Returns the number dropped.
         """
         with self._lock:
             stale = [
                 key
                 for key, entry in self._entries.items()
-                if entry.catalog_version != catalog_version
-                or entry.stats_version != stats_version
+                if entry.catalog_identity == catalog_identity
+                and (
+                    entry.catalog_version != catalog_version
+                    or entry.stats_version != stats_version
+                )
             ]
             for key in stale:
                 del self._entries[key]
@@ -180,6 +216,7 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "single_flight_waits": self.single_flight_waits,
             }
 
     # ------------------------------------------------------------------
@@ -201,6 +238,10 @@ class PlanCache:
         ``status`` is ``"hit"`` or ``"miss"``. The plan still contains
         its parameter markers; execute it inside a binding scope (the
         ``parameters=`` argument of :func:`repro.api.execute` does it).
+
+        Concurrent misses on one key are single-flighted: one caller
+        plans, the rest wait on the build barrier and return the cached
+        entry as a hit.
         """
         from repro.optimizer import Optimizer
         from repro.service.parameterize import _type_name, parameterize
@@ -219,26 +260,49 @@ class PlanCache:
         key = self.key_for(
             parameterized.fingerprint,
             signature,
+            catalog.identity,
             catalog.version,
             catalog.stats_version,
             config_key,
         )
-        entry = self.get(key)
-        if entry is not None:
-            return entry.plan, bindings, "hit"
-        from repro.executor.build import build_executor
+        while True:
+            with self._lock:
+                entry = self._hit_locked(key)
+                if entry is not None:
+                    return entry.plan, bindings, "hit"
+                barrier = self._building.get(key)
+                if barrier is None:
+                    barrier = self._building[key] = threading.Event()
+                    break  # we are the elected builder
+                self.single_flight_waits += 1
+            count("service.cache.single_flight_waits")
+            barrier.wait()
+            # Re-check: normally a hit now; if the builder failed (its
+            # exception propagated to its caller) the loop elects a new
+            # builder instead of failing every waiter.
 
-        plan = Optimizer(database, config, cost_model).plan_sql(
-            parameterized.text
-        )
-        entry = CachedPlan(
-            plan=plan,
-            fingerprint=parameterized.fingerprint,
-            type_signature=signature,
-            catalog_version=catalog.version,
-            stats_version=catalog.stats_version,
-            config_key=config_key,
-            warm_operator=build_executor(plan, database),
-        )
-        self.put(key, entry)
+        with self._lock:
+            self.misses += 1
+        count("service.cache.misses")
+        try:
+            from repro.executor.build import build_executor
+
+            plan = Optimizer(database, config, cost_model).plan_sql(
+                parameterized.text
+            )
+            entry = CachedPlan(
+                plan=plan,
+                fingerprint=parameterized.fingerprint,
+                type_signature=signature,
+                catalog_identity=catalog.identity,
+                catalog_version=catalog.version,
+                stats_version=catalog.stats_version,
+                config_key=config_key,
+                warm_operator=build_executor(plan, database),
+            )
+            self.put(key, entry)
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            barrier.set()
         return plan, bindings, "miss"

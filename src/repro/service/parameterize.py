@@ -20,6 +20,10 @@ inline:
   predicates of different lengths must not share a fingerprint (they
   cannot — the arity is in the token stream), and folding the list into
   parameters would defeat the compiler's hoisted-membership kernel.
+  The carve-out applies to *value lists only*: ``IN (SELECT ...)`` is a
+  subquery, not an arity-bearing list, and its interior literals
+  parameterize like any other predicate constants — otherwise replay
+  workloads that only vary subquery literals would never share plans.
 * FETCH FIRST n: the row count steers the Top-N-vs-full-sort choice and
   LIMIT placement; it stays a plan property, not a binding.
 * ORDER BY numbers: the grammar only admits numbers there as output
@@ -133,6 +137,9 @@ def parameterize(sql: str) -> ParameterizedQuery:
             token.is_keyword("in")
             and tokens[index + 1].kind is TokenKind.PUNCT
             and tokens[index + 1].text == "("
+            # IN (SELECT ...) is a subquery, not a value list: no
+            # carve-out, its literals become parameters like any other.
+            and not tokens[index + 2].is_keyword("select")
         ):
             in_list_depth = 1
             out.append(token)

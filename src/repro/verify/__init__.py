@@ -8,12 +8,16 @@ A reusable correctness harness for the order-optimization engine:
 * :mod:`repro.verify.oracle` — config-matrix differential execution,
   output-order checking, and per-node plan-property auditing;
 * :mod:`repro.verify.shrink` — delta-debugging minimizer that turns a
-  failure into a minimal repro and a ready-to-paste pytest case.
+  failure into a minimal repro and a ready-to-paste pytest case;
+* :mod:`repro.verify.faults` — deterministic fault injection that trips
+  cancellation tokens mid-plan (compiled out of production runs) to
+  exercise the service's timeout/cancellation contract.
 
 Runs standalone as ``python -m repro.verify {smoke,fuzz,audit}`` and
 backs the tier-1 fuzz/property tests.
 """
 
+from repro.verify.faults import inject_token_faults
 from repro.verify.gen import (
     GenConfig,
     QueryGenerator,
@@ -39,6 +43,7 @@ from repro.verify.reference import reference_query
 from repro.verify.shrink import ShrinkResult, shrink
 
 __all__ = [
+    "inject_token_faults",
     "GenConfig",
     "QueryGenerator",
     "QuerySpec",

@@ -1,0 +1,70 @@
+"""Fault injection for the resilient service runtime.
+
+The executor's cancellation checkpoints
+(:meth:`repro.executor.context.CancelToken.check`) consult one
+module-level hook slot that is ``None`` by default — the hooks are
+"compiled out" of production runs; the only standing cost is a pointer
+test per checkpoint. This module installs hooks that deterministically
+trip tokens *mid-plan* so tests can assert the failure contract: no
+worker dies, no future dangles, and the non-faulted statements still
+produce byte-identical rows.
+
+Determinism: faults are counted **per token** (one token = one query),
+so under a multi-worker service the Nth checkpoint of a given query
+trips regardless of how the scheduler interleaved other queries.
+Queries that reach fewer than N checkpoints complete normally — the
+same corpus splits into the same survivors/victims on every run for a
+given engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+from weakref import WeakKeyDictionary
+
+from repro.executor.context import CancelToken, set_fault_hook
+
+
+@contextmanager
+def inject_token_faults(
+    after_checks: int, kind: str = "timeout"
+) -> Iterator[None]:
+    """Trip every cancellation token at its ``after_checks``-th
+    checkpoint.
+
+    ``kind`` selects the failure: ``"timeout"`` forces the token's
+    deadline into the past (the next check raises
+    :class:`~repro.errors.QueryTimeout`, exactly the production
+    deadline path), ``"cancel"`` trips it as an explicit cancellation
+    (:class:`~repro.errors.QueryCancelled`). Tokens that never reach
+    ``after_checks`` checkpoints are untouched, so short queries
+    survive and long ones fail — a corpus replay exercises both paths
+    in one pass.
+
+    Restores the previous hook on exit, so nests and never leaks into
+    unrelated tests.
+    """
+    if after_checks < 1:
+        raise ValueError("after_checks must be >= 1")
+    if kind not in ("timeout", "cancel"):
+        raise ValueError(f"unknown fault kind {kind!r}")
+    visits: "WeakKeyDictionary[CancelToken, int]" = WeakKeyDictionary()
+    lock = threading.Lock()
+
+    def hook(token: CancelToken) -> None:
+        with lock:
+            seen = visits.get(token, 0) + 1
+            visits[token] = seen
+        if seen == after_checks:
+            if kind == "timeout":
+                token.expire()
+            else:
+                token.cancel("fault injection")
+
+    previous = set_fault_hook(hook)
+    try:
+        yield
+    finally:
+        set_fault_hook(previous)

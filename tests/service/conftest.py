@@ -1,0 +1,32 @@
+"""Shared hygiene for the service tests: no leaked worker threads.
+
+Every ``QueryService`` spawns ``repro-svc-*`` workers; graceful
+shutdown must join them all. This autouse fixture fails any test in
+this package that returns while a worker is still alive (a short grace
+window absorbs ``close(wait=False)`` stragglers that are mid-exit).
+"""
+
+import threading
+import time
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_service_workers():
+    yield
+    deadline = time.monotonic() + 5.0
+    while True:
+        leaked = [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-svc-") and thread.is_alive()
+        ]
+        if not leaked:
+            return
+        if time.monotonic() > deadline:
+            pytest.fail(
+                "QueryService worker threads leaked past the test: "
+                + ", ".join(thread.name for thread in leaked)
+            )
+        time.sleep(0.01)

@@ -3,6 +3,7 @@
 Each row of the matrix exercises one component of the cache key:
 
 * unchanged context        -> guaranteed hit
+* different database       -> miss (catalog identity in the key)
 * DDL (a new index)        -> miss (catalog version in the key)
 * statistics refresh       -> miss (stats version in the key)
 * optimizer config toggle  -> miss (config fingerprint in the key)
@@ -47,6 +48,55 @@ def expect(cache, db, sql, status, config=None):
     return result
 
 
+def test_cross_database_collision_resolved_by_identity(db):
+    """The wrong-results regression: two databases with coincidentally
+    equal version counters must not share plans.
+
+    db1 has t(k, v); db2 has the columns swapped, t(v, k). Before the
+    catalog identity joined the cache key, db2's lookup hit db1's plan
+    — a projection of the wrong column position — and returned db1's
+    column values off db2's rows."""
+    db1 = Database()
+    db1.create_table(
+        TableSchema(
+            "t",
+            [Column("k", INTEGER, nullable=False), Column("v", INTEGER)],
+            primary_key=("k",),
+        ),
+        rows=[(7, 500)],
+    )
+    db2 = Database()
+    db2.create_table(
+        TableSchema(
+            "t",
+            [Column("v", INTEGER), Column("k", INTEGER, nullable=False)],
+            primary_key=("k",),
+        ),
+        rows=[(500, 7)],
+    )
+    # The collision precondition: both catalogs went through identical
+    # histories, so their version counters agree exactly.
+    assert (db1.catalog.version, db1.catalog.stats_version) == (
+        db2.catalog.version,
+        db2.catalog.stats_version,
+    )
+    cache = PlanCache()
+    first = run_query(db1, "select v from t", cache=cache)
+    second = run_query(db2, "select v from t", cache=cache)
+    assert first.rows == [(500,)]
+    assert second.cache_status == "miss"  # identity keeps the keys apart
+    assert second.rows == [(500,)]  # not db1's plan returning (7,)
+    # Re-arrivals hit their own database's entry.
+    assert run_query(db1, "select v from t", cache=cache).cache_status == "hit"
+    assert run_query(db2, "select v from t", cache=cache).rows == [(500,)]
+    # One database's sweep must not drop the co-tenant's plans.
+    db1.create_index(Index.on("t_v1", "t", ["v"]))
+    assert cache.invalidate_stale(
+        db1.catalog.identity, db1.catalog.version, db1.catalog.stats_version
+    ) == 1
+    assert run_query(db2, "select v from t", cache=cache).cache_status == "hit"
+
+
 def test_unchanged_context_guarantees_hit(db):
     cache = PlanCache()
     expect(cache, db, SQL, "miss")
@@ -67,7 +117,7 @@ def test_ddl_forces_miss(db):
     expect(cache, db, SQL, "hit")
     # The stale entry is still occupying the LRU until swept.
     assert cache.invalidate_stale(
-        db.catalog.version, db.catalog.stats_version
+        db.catalog.identity, db.catalog.version, db.catalog.stats_version
     ) == 1
     assert cache.stats()["invalidations"] == 1
 

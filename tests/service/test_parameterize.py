@@ -50,6 +50,32 @@ def test_nested_parens_inside_in_list():
     assert q.bindings == {"__p0": 9}
 
 
+def test_in_subquery_literals_still_parameterize():
+    """IN (SELECT ...) is not an IN-list: the carve-out must not
+    swallow the subquery, whose literals are ordinary predicates."""
+    q = parameterize(
+        "select x from t where a in (select y from u where z = 42)"
+    )
+    assert q.bindings == {"__p0": 42}
+    assert "42" not in q.text
+    assert ":__p0" in q.text
+
+
+def test_in_subquery_fingerprint_shared_across_literals():
+    a = parameterize("select x from t where a in (select y from u where z = 1)")
+    b = parameterize("select x from t where a in (select y from u where z = 2)")
+    assert a.fingerprint == b.fingerprint
+
+
+def test_in_list_and_in_subquery_coexist():
+    q = parameterize(
+        "select x from t where a in (1, 2, 3) "
+        "and b in (select y from u where z = 5)"
+    )
+    assert "( 1 , 2 , 3 )" in q.text  # the value list stays inline
+    assert q.bindings == {"__p0": 5}  # the subquery literal is hoisted
+
+
 def test_fetch_first_stays_literal():
     q = parameterize(
         "select x from t order by x fetch first 10 rows only"

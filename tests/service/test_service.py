@@ -61,10 +61,10 @@ def test_admission_queue_rejects_when_full(db):
     entered = threading.Event()
     inner_run = service._run
 
-    def stalling_run(sql, parameters, config):
+    def stalling_run(sql, parameters, config, token):
         entered.set()
         release.wait(timeout=30)
-        return inner_run(sql, parameters, config)
+        return inner_run(sql, parameters, config, token)
 
     service._run = stalling_run
     try:

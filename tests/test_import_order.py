@@ -31,3 +31,16 @@ def test_service_layer_is_registered_above_api():
     order = checker.LAYERS
     assert order.index("service") > order.index("api")
     assert order.index("service") < order.index("tpcd")
+
+
+def test_errors_must_stay_an_import_leaf(tmp_path):
+    # The exception taxonomy is imported by every layer; the checker
+    # must reject any repro import inside it, even a downward-looking
+    # one, before the ordinary layer rules run.
+    checker = _load_checker()
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "errors.py").write_text("from repro.sqltypes import X\n")
+    problems = checker.check(tmp_path / "src")
+    assert any("import leaf" in problem for problem in problems)

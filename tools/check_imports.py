@@ -98,6 +98,16 @@ def check(src_root: Path) -> List[str]:
             if name.startswith("."):
                 problems.append(f"{where}: relative import {name!r}")
                 continue
+            if layer == "errors":
+                # The exception taxonomy is imported by every layer, so
+                # it must stay a strict import leaf: any repro import
+                # here (even of itself) risks a cycle the moment the
+                # imported module grows a dependency.
+                problems.append(
+                    f"{where}: 'errors' must stay an import leaf but "
+                    f"imports {name}"
+                )
+                continue
             parts = name.split(".")
             if len(parts) == 1:
                 problems.append(
