@@ -6,21 +6,26 @@ so a query's simulated I/O pattern falls out of actually running it.
 Sorting, merging, hashing, and aggregation are all real — benchmark
 elapsed times measure genuine work.
 
-Two expression engines share the operator tree: ``compiled`` (closure
-kernels from :mod:`repro.expr.compile`, the default) and
-``interpreted`` (the tree-walking reference; ``REPRO_EXEC=interpreted``
-or ``ExecutionContext(mode=...)`` selects it). Results are identical in
-both modes; per-operator rows/batches/time land in
-``ExecutionContext.metrics`` and render via ``explain(analyze=...)``.
+Three expression engines share the operator tree: ``compiled`` (closure
+kernels from :mod:`repro.expr.compile`, the default), ``vector``
+(columnar :class:`~repro.expr.vector.VectorBatch` blocks with selection
+vectors, late materialization, and cost-ordered predicates), and
+``interpreted`` (the tree-walking reference; ``REPRO_EXEC`` or
+``ExecutionContext(mode=...)`` selects any of them). Results are
+byte-identical in all modes; per-operator rows/batches/time/selectivity
+land in ``ExecutionContext.metrics`` and render via
+``explain(analyze=...)``.
 """
 
 from repro.executor.context import (
     DEFAULT_BATCH_SIZE,
     MODE_COMPILED,
     MODE_INTERPRETED,
+    MODE_VECTOR,
     ExecutionContext,
     OperatorMetrics,
     default_exec_mode,
+    resolve_batch_size,
 )
 from repro.executor.operators import (
     FilterOp,
@@ -51,8 +56,10 @@ __all__ = [
     "OperatorMetrics",
     "MODE_COMPILED",
     "MODE_INTERPRETED",
+    "MODE_VECTOR",
     "DEFAULT_BATCH_SIZE",
     "default_exec_mode",
+    "resolve_batch_size",
     "PhysicalOperator",
     "TableScanOp",
     "IndexScanOp",

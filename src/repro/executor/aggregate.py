@@ -33,7 +33,8 @@ from repro.expr.compile import compile_expression, ordered_key_kernel
 from repro.expr.evaluate import evaluate
 from repro.expr.nodes import Aggregate, AggregateKind, ColumnRef
 from repro.expr.schema import RowSchema
-from repro.sqltypes import is_null, sort_key
+from repro.expr.vector import vector_value_kernel
+from repro.sqltypes import NULL, is_null, sort_key
 
 
 class _Accumulator:
@@ -68,6 +69,56 @@ class _Accumulator:
         elif self.kind is AggregateKind.MAX:
             if self.extreme is None or sort_key(value) > sort_key(self.extreme):
                 self.extreme = value
+
+    def add_count(self, n: int) -> None:
+        """Fold ``n`` COUNT(*) contributions at once."""
+        self.count += n
+
+    def add_run(self, values: Sequence[Any]) -> None:
+        """Fold a run of argument values in one call.
+
+        Semantically identical to calling :meth:`add` per value (same
+        left-to-right fold, same NULL and tie handling); the vector
+        sorted group-by feeds whole group runs through here so the
+        per-value work happens in comprehensions instead of per-call
+        accumulator dispatch.
+        """
+        if self.distinct:
+            for value in values:
+                self.add(value)
+            return
+        live = [
+            value
+            for value in values
+            if value is not None and value is not NULL
+        ]
+        if not live:
+            return
+        self.count += len(live)
+        kind = self.kind
+        if kind in (AggregateKind.SUM, AggregateKind.AVG):
+            # Keep the exact per-value fold order (float addition is
+            # not associative; engines must stay byte-identical).
+            total = self.total
+            start = 0
+            if total is None:
+                total = live[0]
+                start = 1
+            for value in live[start:]:
+                total = total + value
+            self.total = total
+        elif kind is AggregateKind.MIN:
+            candidate = min(live, key=sort_key)
+            if self.extreme is None or sort_key(candidate) < sort_key(
+                self.extreme
+            ):
+                self.extreme = candidate
+        elif kind is AggregateKind.MAX:
+            candidate = max(live, key=sort_key)
+            if self.extreme is None or sort_key(candidate) > sort_key(
+                self.extreme
+            ):
+                self.extreme = candidate
 
     def result(self) -> Any:
         if self.kind is AggregateKind.COUNT:
@@ -161,6 +212,46 @@ class _GroupByBase(PhysicalOperator):
             accumulator.result() for accumulator in accumulators
         )
 
+    def _vector_inputs(
+        self, context: ExecutionContext
+    ) -> Iterator[Tuple[List[Tuple[Any, ...]], List[List[Any]], List[Optional[List[Any]]]]]:
+        """Columnar group-by input: per child block, yields selection-
+        aligned ``(markers, raw_group_columns, argument_value_lists)``.
+
+        Group markers and aggregate arguments come straight off the
+        block's columns — a join feeding a group-by never builds its
+        wide concatenated tuples at all (COUNT(*) has a ``None`` value
+        list; the accumulator loop substitutes the sentinel).
+        """
+        child_schema = self.child.schema
+        kernels = [
+            None
+            if aggregate.argument is None
+            else vector_value_kernel(aggregate.argument, child_schema)
+            for _name, aggregate in self.aggregates
+        ]
+        positions = self._group_positions
+        for block in self.child.vector_batches(context):
+            sel = block.live()
+            if type(sel) is range:
+                sel = list(sel)
+            if not sel:
+                continue
+            raw_cols: List[List[Any]] = [
+                block.gather(position, sel) for position in positions
+            ]
+            if raw_cols:
+                markers = list(
+                    zip(*[[sort_key(v) for v in col] for col in raw_cols])
+                )
+            else:
+                markers = [()] * len(sel)
+            value_lists = [
+                None if kernel is None else kernel(block, sel)
+                for kernel in kernels
+            ]
+            yield markers, raw_cols, value_lists
+
 
 class SortedGroupByOp(_GroupByBase):
     """Order-based GROUP BY: input must arrive grouped (sorted on any
@@ -171,6 +262,9 @@ class SortedGroupByOp(_GroupByBase):
         yield from chunked(self._grouped(context), context.batch_size)
 
     def _grouped(self, context: ExecutionContext) -> Iterator[Row]:
+        if context.vectorized:
+            yield from self._grouped_vector(context)
+            return
         evaluators = self._argument_evaluators(context)
         markers_of = _marker_kernel(context, self._group_positions)
         positions = tuple(self._group_positions)
@@ -193,6 +287,37 @@ class SortedGroupByOp(_GroupByBase):
         if current_group is not None:
             yield self._output_row(current_raw, accumulators)
 
+    def _grouped_vector(self, context: ExecutionContext) -> Iterator[Row]:
+        # Group changes are found by scanning the marker list for run
+        # boundaries, then each aggregate folds the whole run at once —
+        # the columnar win for sorted aggregation is run-at-a-time
+        # accumulation, not per-row accumulator dispatch.
+        current_group: Optional[Tuple[Any, ...]] = None
+        current_raw: Optional[Tuple[Any, ...]] = None
+        accumulators: List[_Accumulator] = []
+        for markers, raw_cols, value_lists in self._vector_inputs(context):
+            n = len(markers)
+            start = 0
+            while start < n:
+                marker = markers[start]
+                end = start + 1
+                while end < n and markers[end] == marker:
+                    end += 1
+                if current_group is None or marker != current_group:
+                    if current_group is not None:
+                        yield self._output_row(current_raw, accumulators)
+                    current_group = marker
+                    current_raw = tuple(col[start] for col in raw_cols)
+                    accumulators = self._new_accumulators()
+                for accumulator, values in zip(accumulators, value_lists):
+                    if values is None:
+                        accumulator.add_count(end - start)
+                    else:
+                        accumulator.add_run(values[start:end])
+                start = end
+        if current_group is not None:
+            yield self._output_row(current_raw, accumulators)
+
     def label(self) -> str:
         inner = ", ".join(str(column) for column in self.group_columns)
         return f"group by (sorted) [{inner}]"
@@ -205,6 +330,9 @@ class HashGroupByOp(_GroupByBase):
         yield from chunked(self._grouped(context), context.batch_size)
 
     def _grouped(self, context: ExecutionContext) -> Iterator[Row]:
+        if context.vectorized:
+            yield from self._grouped_vector(context)
+            return
         evaluators = self._argument_evaluators(context)
         markers_of = _marker_kernel(context, self._group_positions)
         positions = tuple(self._group_positions)
@@ -234,6 +362,66 @@ class HashGroupByOp(_GroupByBase):
             context.charge_spill(len(groups))
         if not groups and not self.group_columns:
             # Scalar aggregate over empty input still yields one row.
+            yield self._output_row((), self._new_accumulators())
+            return
+        for raw, accumulators in groups.values():
+            yield self._output_row(raw, accumulators)
+
+    def _grouped_vector(self, context: ExecutionContext) -> Iterator[Row]:
+        # Insertion order of ``groups`` is first occurrence of each
+        # marker — identical to the row path, so output order matches.
+        # Rows are bucketed by marker within each block so aggregates
+        # fold whole buckets (one dict probe and one append per row
+        # instead of per-aggregate accumulator dispatch).
+        groups: Dict[
+            Tuple[Any, ...], Tuple[Tuple[Any, ...], List[_Accumulator]]
+        ] = {}
+        get = groups.get
+        count = 0
+        for markers, raw_cols, value_lists in self._vector_inputs(context):
+            n = len(markers)
+            count += n
+            buckets: Dict[Tuple[Any, ...], List[int]] = {}
+            bucket_get = buckets.get
+            for j, marker in enumerate(markers):
+                positions = bucket_get(marker)
+                if positions is None:
+                    buckets[marker] = [j]
+                else:
+                    positions.append(j)
+            if 2 * len(buckets) > n:
+                # Mostly singleton groups: run folding would just add
+                # slicing overhead, so dispatch per row as before.
+                for j, marker in enumerate(markers):
+                    entry = get(marker)
+                    if entry is None:
+                        raw = tuple(col[j] for col in raw_cols)
+                        entry = (raw, self._new_accumulators())
+                        groups[marker] = entry
+                    for accumulator, values in zip(entry[1], value_lists):
+                        accumulator.add(
+                            _COUNT_STAR if values is None else values[j]
+                        )
+                continue
+            for marker, positions in buckets.items():
+                entry = get(marker)
+                if entry is None:
+                    first = positions[0]
+                    raw = tuple(col[first] for col in raw_cols)
+                    entry = (raw, self._new_accumulators())
+                    groups[marker] = entry
+                whole = len(positions) == n
+                for accumulator, values in zip(entry[1], value_lists):
+                    if values is None:
+                        accumulator.add_count(len(positions))
+                    elif whole:
+                        accumulator.add_run(values)
+                    else:
+                        accumulator.add_run([values[j] for j in positions])
+        context.rows_hashed += count
+        if len(groups) > context.sort_memory_rows:
+            context.charge_spill(len(groups))
+        if not groups and not self.group_columns:
             yield self._output_row((), self._new_accumulators())
             return
         for raw, accumulators in groups.values():

@@ -13,6 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.cost.estimate import (
+    SelectivityEstimator,
+    StatsView,
+    term_selectivity_hints,
+)
 from repro.errors import ExecutionError
 from repro.executor.aggregate import (
     HashDistinctOp,
@@ -41,9 +46,34 @@ from repro.optimizer.plan import OpKind, Plan, PlanNode
 from repro.storage import Database
 
 
-def build_operator(node: PlanNode, database: Database) -> PhysicalOperator:
-    """Recursively build the physical operator for one plan node."""
-    children = [build_operator(child, database) for child in node.children]
+def _plan_tables(
+    node: PlanNode, database: Database, tables: Dict[str, object]
+) -> None:
+    """Collect alias -> TableSchema for every base-table access in the
+    plan, feeding filter-term selectivity estimation."""
+    if node.kind in (OpKind.TABLE_SCAN, OpKind.INDEX_SCAN, OpKind.NLJ_INDEX):
+        alias = node.args.get("alias")
+        name = node.args.get("table")
+        if alias is not None and name is not None:
+            tables[alias] = database.catalog.table(name)
+    for child in node.children:
+        _plan_tables(child, database, tables)
+
+
+def build_operator(
+    node: PlanNode,
+    database: Database,
+    estimator: Optional[SelectivityEstimator] = None,
+) -> PhysicalOperator:
+    """Recursively build the physical operator for one plan node.
+
+    ``estimator`` (optional) supplies catalog-stats selectivities that
+    seed the vector engine's cost-ordered predicate evaluation; without
+    it filters run unhinted (adaptive feedback still applies).
+    """
+    children = [
+        build_operator(child, database, estimator) for child in node.children
+    ]
     args = dict(node.args)
     kind = node.kind
     if kind is OpKind.TABLE_SCAN:
@@ -61,7 +91,12 @@ def build_operator(node: PlanNode, database: Database) -> PhysicalOperator:
             descending=args.get("descending", False),
         )
     if kind is OpKind.FILTER:
-        return FilterOp(children[0], args["predicate"])
+        hints = (
+            term_selectivity_hints(args["predicate"], estimator)
+            if estimator is not None
+            else None
+        )
+        return FilterOp(children[0], args["predicate"], selectivity_hints=hints)
     if kind is OpKind.PROJECT:
         return ProjectOp(
             children[0], args["expressions"], node.properties.schema
@@ -142,7 +177,12 @@ def build_executor(plan: Plan, database: Database) -> PhysicalOperator:
     Host variables resolve per execution — install bindings with
     :func:`repro.expr.bindings.parameter_scope` around ``execute``.
     """
-    return build_operator(plan.root, database)
+    tables: Dict[str, object] = {}
+    _plan_tables(plan.root, database, tables)
+    estimator = (
+        SelectivityEstimator(StatsView(tables)) if tables else None
+    )
+    return build_operator(plan.root, database, estimator)
 
 
 def execute_plan(

@@ -12,19 +12,46 @@ from repro.storage import Database
 
 # Executor engine modes. ``compiled`` (the default) evaluates
 # expressions through closures from :mod:`repro.expr.compile`;
-# ``interpreted`` routes every expression through the tree-walking
-# interpreter (:mod:`repro.expr.evaluate`) and is kept as the semantic
-# reference — both modes must produce byte-identical results.
+# ``vector`` is the compiled engine's columnar path — operators
+# exchange :class:`repro.expr.vector.VectorBatch` blocks (per-column
+# lists + selection vectors) and materialize row tuples late, at
+# pipeline breakers; ``interpreted`` routes every expression through
+# the tree-walking interpreter (:mod:`repro.expr.evaluate`) and is
+# kept as the semantic reference — all modes must produce
+# byte-identical results.
 MODE_COMPILED = "compiled"
 MODE_INTERPRETED = "interpreted"
-_MODES = (MODE_COMPILED, MODE_INTERPRETED)
+MODE_VECTOR = "vector"
+_MODES = (MODE_COMPILED, MODE_INTERPRETED, MODE_VECTOR)
 
 DEFAULT_BATCH_SIZE = 1024
 
-# Sentinel: resolve per mode in __post_init__ (compiled gets
-# DEFAULT_BATCH_SIZE; interpreted gets 1 — the pre-batching Volcano
-# row-at-a-time configuration it exists to preserve).
+# Sentinel: resolve per mode via resolve_batch_size (compiled/vector
+# get DEFAULT_BATCH_SIZE; interpreted gets 1 — the pre-batching
+# Volcano row-at-a-time configuration it exists to preserve).
 BATCH_SIZE_AUTO = 0
+
+
+def resolve_batch_size(mode: str, batch_size: int) -> int:
+    """Resolve ``batch_size`` for ``mode``, validating exactly once.
+
+    Only the ``BATCH_SIZE_AUTO`` sentinel selects a per-mode default;
+    any explicit positive value — including 1 with the compiled engine
+    — is honoured as-is, and re-resolving an already-resolved value is
+    the identity (nested contexts can copy a parent's ``batch_size``
+    without re-triggering the sentinel logic). Booleans are rejected
+    explicitly: ``False == BATCH_SIZE_AUTO`` would silently alias the
+    sentinel.
+    """
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise ExecutionError(
+            f"batch_size must be an int, got {batch_size!r}"
+        )
+    if batch_size == BATCH_SIZE_AUTO:
+        return 1 if mode == MODE_INTERPRETED else DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ExecutionError("batch_size must be positive")
+    return batch_size
 
 
 # Fault-injection slot (see repro.verify.faults). None — the default —
@@ -129,12 +156,23 @@ class OperatorMetrics:
     rows: int = 0
     batches: int = 0
     seconds: float = 0.0
+    # Rows pulled from the input before selection (filters, join
+    # probes); rows/rows_in is the operator's observed selectivity.
+    rows_in: int = 0
+    # Vector engine: how many blocks this operator collapsed back into
+    # row tuples (the late-materialization points).
+    materializations: int = 0
 
     def render(self) -> str:
-        return (
+        text = (
             f"rows={self.rows} batches={self.batches} "
             f"time={self.seconds * 1000.0:.1f}ms"
         )
+        if self.rows_in > 0:
+            text += f" sel={self.rows / self.rows_in:.4f}"
+        if self.materializations > 0:
+            text += f" mat={self.materializations}"
+        return text
 
 
 @dataclass
@@ -148,10 +186,12 @@ class ExecutionContext:
         spill_pages: simulated pages written+read by spilling operators.
         rows_sorted / rows_hashed: work counters for introspection.
         batch_size: rows per batch in the ``batches()`` protocol.
-            Defaults per mode: DEFAULT_BATCH_SIZE when compiled, 1
-            (row-at-a-time, the pre-batching engine's behaviour) when
-            interpreted; pass an explicit value to override either.
-        mode: ``compiled`` (closure kernels) or ``interpreted``
+            Defaults per mode: DEFAULT_BATCH_SIZE when compiled/vector,
+            1 (row-at-a-time, the pre-batching engine's behaviour) when
+            interpreted; pass an explicit value to override either
+            (see :func:`resolve_batch_size`).
+        mode: ``compiled`` (closure kernels), ``vector`` (columnar
+            selection-vector pipeline), or ``interpreted``
             (tree-walking reference); defaults to the REPRO_EXEC env
             var, falling back to compiled.
         cancel_token: cooperative deadline/cancellation token polled at
@@ -175,16 +215,17 @@ class ExecutionContext:
             raise ExecutionError(
                 f"unknown executor mode {self.mode!r}; choose one of {_MODES}"
             )
-        if self.batch_size == BATCH_SIZE_AUTO:
-            self.batch_size = (
-                DEFAULT_BATCH_SIZE if self.mode == MODE_COMPILED else 1
-            )
-        if self.batch_size < 1:
-            raise ExecutionError("batch_size must be positive")
+        self.batch_size = resolve_batch_size(self.mode, self.batch_size)
 
     @property
     def compiled(self) -> bool:
-        return self.mode == MODE_COMPILED
+        """True for both compiled engines (row kernels and vector):
+        expression work runs through :mod:`repro.expr.compile`."""
+        return self.mode != MODE_INTERPRETED
+
+    @property
+    def vectorized(self) -> bool:
+        return self.mode == MODE_VECTOR
 
     def metrics_for(self, operator: object) -> OperatorMetrics:
         entry = self.metrics.get(operator)

@@ -39,6 +39,7 @@ from repro.expr.compile import (
 from repro.expr.evaluate import evaluate_predicate
 from repro.expr.nodes import ColumnRef, Expression
 from repro.expr.schema import RowSchema
+from repro.expr.vector import JoinBlock, RowBlock, VectorBatch, compile_vector_filter
 from repro.sqltypes import is_null, sort_key
 from repro.storage.database import encode_index_key
 
@@ -237,7 +238,88 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.outer,)
 
+    vector_capable = True
+
+    def _probe_setup(self, context: ExecutionContext):
+        store = context.database.store(self.table_name)
+        index, tree = store.indexes[self.index_name]
+        directions = [
+            column.direction
+            for column in index.key[: len(self.probe_columns)]
+        ]
+        positions = [
+            self.outer.schema.position(column)
+            for column in self.probe_columns
+        ]
+        return tree.probe, store.heap.fetch, directions, positions
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        if self.left_outer and self.residual is not None:
+            # Match bookkeeping interacts with the residual row by row;
+            # keep the row join and lift its batches.
+            for batch in chunked(self._joined(context), context.batch_size):
+                yield RowBlock(batch)
+            return
+        probe, fetch, directions, positions = self._probe_setup(context)
+        encode = make_probe_encoder(directions)
+        residual_filter = (
+            compile_vector_filter(self.residual, self.schema)
+            if self.residual is not None
+            else None
+        )
+        padding = (None,) * len(self.inner_schema)
+        left_outer = self.left_outer
+        outer_width = len(self.outer.schema)
+        metrics = context.metrics_for(self)
+        single = positions[0] if len(positions) == 1 else None
+        for block in self.outer.vector_batches(context):
+            metrics.rows_in += block.count
+            out_index: List[int] = []
+            inner_rows: List[Row] = []
+            index_append = out_index.append
+            inner_append = inner_rows.append
+            live = block.live()
+            if type(live) is range:
+                live = list(live)
+            if single is not None:
+                for i, value in zip(live, block.gather(single, live)):
+                    matched = False
+                    if not is_null(value):
+                        for rid in probe(encode((value,))):
+                            index_append(i)
+                            inner_append(fetch(rid))
+                            matched = True
+                    if left_outer and not matched:
+                        index_append(i)
+                        inner_append(padding)
+            else:
+                columns = [block.gather(p, live) for p in positions]
+                for i, values in zip(live, zip(*columns)):
+                    matched = False
+                    if not any(is_null(value) for value in values):
+                        for rid in probe(encode(values)):
+                            index_append(i)
+                            inner_append(fetch(rid))
+                            matched = True
+                    if left_outer and not matched:
+                        index_append(i)
+                        inner_append(padding)
+            if not out_index:
+                continue
+            joined = JoinBlock(block, outer_width, out_index, inner_rows)
+            if residual_filter is not None:
+                selection = residual_filter(joined)
+                if not selection:
+                    continue
+                joined = joined.with_selection(selection)
+            yield joined
+
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
         yield from chunked(self._joined(context), context.batch_size)
 
     def _joined(self, context: ExecutionContext) -> Iterator[Row]:
@@ -254,7 +336,7 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
         keys_of = _null_free_keys(context, positions)
         encode = make_probe_encoder(directions)
         matcher = residual_matcher(self.residual, self.schema, context)
-        scan_range = tree.scan_range
+        probe = tree.probe
         fetch = store.heap.fetch
         padding = (None,) * len(self.inner_schema)
         left_outer = self.left_outer
@@ -263,8 +345,7 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
             for outer_row, values in zip(batch, keys):
                 matched = False
                 if values is not None:
-                    probe_key = encode(values)
-                    for _key, rid in scan_range(low=probe_key, high=probe_key):
+                    for rid in probe(encode(values)):
                         joined = outer_row + fetch(rid)
                         if matcher is None or matcher(joined):
                             matched = True
@@ -378,7 +459,16 @@ class MergeJoinOp(_BinaryJoin):
 
 
 class HashJoinOp(_BinaryJoin):
-    """Classic hash equi-join: build on the inner, probe with the outer."""
+    """Classic hash equi-join: build on the inner, probe with the outer.
+
+    In vector mode the probe side streams :class:`VectorBatch` blocks:
+    probe keys gather straight from the outer key columns and matches
+    come out as :class:`JoinBlock` pairs — the wide concatenated tuple
+    is never built unless a parent materializes. A residual predicate
+    runs as a vector filter over the join block (column leaves get the
+    fast paths); the left-outer + residual combination falls back to
+    row-at-a-time joining, where match bookkeeping lives.
+    """
 
     def __init__(
         self,
@@ -396,19 +486,14 @@ class HashJoinOp(_BinaryJoin):
         self.inner_keys = list(inner_keys)
         self.left_outer = left_outer
 
-    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
-        yield from chunked(self._joined(context), context.batch_size)
+    vector_capable = True
 
-    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
+    def _build_table(self, context: ExecutionContext) -> dict:
+        """Materialize the inner side into the hash table (both modes)."""
         inner_positions = [
             self.inner.schema.position(column) for column in self.inner_keys
         ]
-        outer_positions = [
-            self.outer.schema.position(column) for column in self.outer_keys
-        ]
-        matcher = residual_matcher(self.residual, self.schema, context)
         build_keys = _null_free_keys(context, inner_positions)
-        probe_keys = _null_free_keys(context, outer_positions)
         table: dict = {}
         setdefault = table.setdefault
         build_count = 0
@@ -426,11 +511,95 @@ class HashJoinOp(_BinaryJoin):
         context.rows_hashed += build_count
         if build_count > context.sort_memory_rows:
             context.charge_spill(build_count)
+        return table
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        if self.left_outer and self.residual is not None:
+            for batch in chunked(self._joined(context), context.batch_size):
+                yield RowBlock(batch)
+            return
+        table = self._build_table(context)
+        outer_positions = [
+            self.outer.schema.position(column) for column in self.outer_keys
+        ]
+        outer_width = len(self.outer.schema)
         padding = (None,) * len(self.inner.schema)
         empty: Tuple[Row, ...] = ()
         left_outer = self.left_outer
         get = table.get
+        metrics = context.metrics_for(self)
+        residual_filter = (
+            compile_vector_filter(self.residual, self.schema)
+            if self.residual is not None
+            else None
+        )
+        single = outer_positions[0] if len(outer_positions) == 1 else None
+        for block in self.outer.vector_batches(context):
+            metrics.rows_in += block.count
+            out_index: List[int] = []
+            inner_rows: List[Row] = []
+            index_append = out_index.append
+            inner_append = inner_rows.append
+            live = block.live()
+            if type(live) is range:
+                live = list(live)
+            if single is not None:
+                for i, value in zip(live, block.gather(single, live)):
+                    matches = (
+                        empty if is_null(value) else get((value,), empty)
+                    )
+                    for inner_row in matches:
+                        index_append(i)
+                        inner_append(inner_row)
+                    if left_outer and not matches:
+                        index_append(i)
+                        inner_append(padding)
+            else:
+                columns = [block.gather(p, live) for p in outer_positions]
+                for i, values in zip(live, zip(*columns)):
+                    matches = (
+                        empty
+                        if any(is_null(value) for value in values)
+                        else get(values, empty)
+                    )
+                    for inner_row in matches:
+                        index_append(i)
+                        inner_append(inner_row)
+                    if left_outer and not matches:
+                        index_append(i)
+                        inner_append(padding)
+            if not out_index:
+                continue
+            joined = JoinBlock(block, outer_width, out_index, inner_rows)
+            if residual_filter is not None:
+                selection = residual_filter(joined)
+                if not selection:
+                    continue
+                joined = joined.with_selection(selection)
+            yield joined
+
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
+        yield from chunked(self._joined(context), context.batch_size)
+
+    def _joined(self, context: ExecutionContext) -> Iterator[Row]:
+        outer_positions = [
+            self.outer.schema.position(column) for column in self.outer_keys
+        ]
+        matcher = residual_matcher(self.residual, self.schema, context)
+        probe_keys = _null_free_keys(context, outer_positions)
+        table = self._build_table(context)
+        padding = (None,) * len(self.inner.schema)
+        empty: Tuple[Row, ...] = ()
+        left_outer = self.left_outer
+        get = table.get
+        metrics = context.metrics_for(self)
         for batch in self.outer.batches(context):
+            metrics.rows_in += len(batch)
             for values, outer_row in zip(probe_keys(batch), batch):
                 matched = False
                 if values is not None:

@@ -10,7 +10,12 @@ Expression work is engine-switched: in ``compiled`` mode predicates,
 projections, and sort keys run through closures and batch kernels from
 :mod:`repro.expr.compile`; in ``interpreted`` mode every record goes
 through the tree-walking interpreter (:mod:`repro.expr.evaluate`),
-which is kept as the semantic reference. Both must produce identical
+which is kept as the semantic reference. In ``vector`` mode
+vector-capable operators exchange :class:`repro.expr.vector.VectorBatch`
+blocks (columns + selection vector) through ``vector_batches`` and only
+collapse back to row tuples at pipeline breakers or the root — any
+operator that pulls ``batches()`` from a vector-capable child gets
+materialized rows automatically. All engines must produce identical
 rows in identical order.
 """
 
@@ -33,6 +38,12 @@ from repro.expr.bindings import active_value
 from repro.expr.evaluate import evaluate, evaluate_predicate
 from repro.expr.nodes import ColumnRef, Expression, Parameter
 from repro.expr.schema import RowSchema
+from repro.expr.vector import (
+    RowBlock,
+    VectorBatch,
+    compile_vector_filter,
+    vector_projection_kernel,
+)
 from repro.sqltypes import is_null, sort_key
 from repro.storage.database import encode_index_key
 
@@ -65,9 +76,13 @@ def chunked(rows: Iterable[Row], size: int) -> Iterator[Batch]:
 
 
 def rechunk(rows: Sequence[Row], size: int) -> Iterator[Batch]:
-    """Batches over an in-memory row list (cheap slicing)."""
+    """Batches over an in-memory row list (cheap slicing).
+
+    A slice of a list is already a fresh list, so each yielded batch is
+    independent of the source buffer — no second copy needed.
+    """
     for start in range(0, len(rows), size):
-        yield list(rows[start : start + size])
+        yield rows[start : start + size]
 
 
 class PhysicalOperator:
@@ -106,6 +121,70 @@ class PhysicalOperator:
 
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         raise NotImplementedError
+
+    # Vector protocol. Operators that can stream VectorBatch blocks
+    # natively set vector_capable and implement _vector_batches; in
+    # vector mode their row-protocol _batches delegates to
+    # _materialized_batches, so any parent that pulls batches() — a
+    # sort buffering its input, a hash join building its table, the
+    # root drain — becomes a late-materialization point without
+    # knowing about blocks at all.
+    vector_capable = False
+
+    def vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        """Instrumented vector-block stream (the ``vector`` engine's
+        pull interface).
+
+        Non-capable operators run their ordinary (already instrumented)
+        ``batches`` path and are lifted into zero-copy
+        :class:`RowBlock` wrappers; capable operators stream native
+        blocks with the same metrics and cancellation checkpoints as
+        ``batches``. Exactly one instrumentation wrapper runs per
+        operator per execution, whichever protocol pulls it.
+        """
+        if not self.vector_capable:
+            for batch in self.batches(context):
+                yield RowBlock(batch)
+            return
+        metrics = context.metrics_for(self)
+        produce = self._vector_batches(context)
+        token = context.cancel_token
+        perf_counter = time.perf_counter
+        while True:
+            if token is not None:
+                token.check()
+            started = perf_counter()
+            try:
+                block = next(produce)
+            except StopIteration:
+                metrics.seconds += perf_counter() - started
+                return
+            metrics.seconds += perf_counter() - started
+            metrics.batches += 1
+            metrics.rows += block.count
+            yield block
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        raise NotImplementedError
+
+    def _materialized_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[Batch]:
+        """Row batches for a vector-capable operator pulled through the
+        row protocol: each block collapses to tuples here, counted as a
+        materialization. Pulls the raw ``_vector_batches`` stream — the
+        calling ``batches`` wrapper is the one instrumentation layer.
+        """
+        metrics = context.metrics_for(self)
+        for block in self._vector_batches(context):
+            metrics.materializations += 1
+            rows = block.materialize()
+            if rows:
+                yield rows
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         """Row-at-a-time adapter over :meth:`batches`."""
@@ -156,13 +235,11 @@ class TableScanOp(PhysicalOperator):
         store = context.database.store(self.table_name)
         size = context.batch_size
         batch: Batch = []
-        append = batch.append
-        for _rid, row in store.heap.scan():
-            append(row)
-            if len(batch) >= size:
-                yield batch
-                batch = []
-                append = batch.append
+        for page in store.heap.scan_pages():
+            batch.extend(page)
+            while len(batch) >= size:
+                yield batch[:size]
+                batch = batch[size:]
         if batch:
             yield batch
 
@@ -277,26 +354,67 @@ class IndexScanOp(PhysicalOperator):
 
 
 class FilterOp(PhysicalOperator):
-    """Applies a predicate to its input."""
+    """Applies a predicate to its input.
 
-    def __init__(self, child: PhysicalOperator, predicate: Expression):
+    ``selectivity_hints`` (optional) maps predicate subtrees to
+    estimated selectivities from the catalog stats; the vector engine
+    seeds its term ordering with them and refines per batch.
+    """
+
+    vector_capable = True
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: Expression,
+        selectivity_hints: Optional[dict] = None,
+    ):
         super().__init__(child.schema)
         self.child = child
         self.predicate = predicate
+        self.selectivity_hints = selectivity_hints
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        vector_filter = compile_vector_filter(
+            self.predicate, self.schema, self.selectivity_hints
+        )
+        metrics = context.metrics_for(self)
+        for block in self.child.vector_batches(context):
+            metrics.rows_in += block.count
+            selection = vector_filter(block)
+            if not selection:
+                continue
+            if type(block) is RowBlock and 4 * len(selection) < 3 * block.length:
+                # Compact a selective row block instead of carrying the
+                # selection: the tuples already exist, so this is one
+                # reference gather, and every consumer downstream then
+                # works dense instead of indirecting through dead rows.
+                rows = block.rows
+                yield RowBlock([rows[i] for i in selection])
+            else:
+                yield block.with_selection(selection)
+
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
+        metrics = context.metrics_for(self)
         if context.compiled:
             kernel = predicate_kernel(self.predicate, self.schema)
             for batch in self.child.batches(context):
+                metrics.rows_in += len(batch)
                 kept = kernel(batch)
                 if kept:
                     yield kept
             return
         predicate, schema = self.predicate, self.schema
         for batch in self.child.batches(context):
+            metrics.rows_in += len(batch)
             count_interpreted(len(batch))
             kept = [
                 row
@@ -312,6 +430,8 @@ class FilterOp(PhysicalOperator):
 
 class ProjectOp(PhysicalOperator):
     """Computes output expressions (including plain column selection)."""
+
+    vector_capable = True
 
     def __init__(
         self,
@@ -341,7 +461,20 @@ class ProjectOp(PhysicalOperator):
                 return None
         return positions
 
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        kernel = vector_projection_kernel(
+            self.expressions, self.child.schema
+        )
+        for block in self.child.vector_batches(context):
+            if block.count:
+                yield kernel(block)
+
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
         child_schema = self.child.schema
         positions = self._simple_positions()
         if positions is not None:
@@ -471,7 +604,12 @@ class SortOp(PhysicalOperator):
         context.rows_sorted += sequence
         if not runs:
             buffered.sort()
-            yield from rechunk([row for _key, _seq, row in buffered], size)
+            # Slice the decorated buffer directly — no full-length
+            # intermediate row list before chunking.
+            for start in range(0, len(buffered), size):
+                yield [
+                    entry[2] for entry in buffered[start : start + size]
+                ]
             return
         if buffered:
             buffered.sort()
@@ -497,7 +635,24 @@ class LimitOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
+    vector_capable = True
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        remaining = self.count
+        for block in self.child.vector_batches(context):
+            if block.count < remaining:
+                remaining -= block.count
+                yield block
+            else:
+                yield block.take(remaining)
+                return
+
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
         remaining = self.count
         for batch in self.child.batches(context):
             if len(batch) < remaining:
@@ -550,9 +705,9 @@ class TopNSortOp(PhysicalOperator):
                     bisect.insort(buffer, entry)
                     buffer.pop()
         context.rows_sorted += tie
-        yield from rechunk(
-            [row for _key, _tie, row in buffer], context.batch_size
-        )
+        size = context.batch_size
+        for start in range(0, len(buffer), size):
+            yield [entry[2] for entry in buffer[start : start + size]]
 
     def label(self) -> str:
         return f"top-{self.count} sort {self.order}"
@@ -577,7 +732,18 @@ class ConcatOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return tuple(self._children)
 
+    vector_capable = True
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        for child in self._children:
+            yield from child.vector_batches(context)
+
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
         for child in self._children:
             yield from child.batches(context)
 

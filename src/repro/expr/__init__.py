@@ -34,6 +34,16 @@ from repro.expr.compile import (
     predicate_kernel,
     projection_kernel,
 )
+from repro.expr.vector import (
+    ColumnBlock,
+    JoinBlock,
+    RowBlock,
+    VectorBatch,
+    VectorFilter,
+    compile_vector_filter,
+    vector_projection_kernel,
+    vector_value_kernel,
+)
 from repro.expr.analysis import (
     PredicateFacts,
     analyze_predicates,
@@ -71,6 +81,14 @@ __all__ = [
     "compile_predicate",
     "predicate_kernel",
     "projection_kernel",
+    "VectorBatch",
+    "RowBlock",
+    "ColumnBlock",
+    "JoinBlock",
+    "VectorFilter",
+    "compile_vector_filter",
+    "vector_projection_kernel",
+    "vector_value_kernel",
     "PredicateFacts",
     "analyze_predicates",
     "columns_of",

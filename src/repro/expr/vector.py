@@ -1,0 +1,1412 @@
+"""Columnar vector batches and column-at-a-time predicate kernels.
+
+The compiled engine's third gear: instead of lists of row tuples,
+operators exchange :class:`VectorBatch` objects — per-column value
+lists plus a *selection vector* (sorted physical indices of live
+rows). Filters narrow the selection without copying rows; projections
+compute output columns; tuples are materialized late, only at pipeline
+breakers (sort, hash build, group-by) or at the plan root.
+
+Predicate kernels here must stay byte-identical to the row engine
+(:mod:`repro.expr.compile`) and the interpreter, including SQL
+three-valued logic. The row engine's boolean semantics are identity
+checks — ``value is False`` short-circuits AND, ``value is True``
+short-circuits OR, ``value is None`` marks unknown, and any *other*
+value (a bare column used as a predicate) flows through untouched —
+so every term exposes three views:
+
+* ``true_of(batch, sel)`` — rows whose value ``is True`` (filter keep
+  set, OR accept set);
+* ``and_filter(batch, sel) -> (survivors, unknowns)`` — rows a
+  conjunction would keep scanning (not the ``False`` singleton), with
+  the ``None``-valued subset flagged;
+* ``or_filter(batch, sel) -> (accepted, unknowns)`` — strict-True rows
+  plus the ``None``-valued subset.
+
+On top of that representation sits cost-ordered evaluation: AND terms
+run cheapest-and-most-selective first against the shrinking selection,
+OR terms run cheapest-and-least-selective first with accepted rows
+bypassing later disjuncts. Initial selectivities come from catalog
+stats (hints supplied by the executor's plan builder); per-batch
+observed selectivities adapt the order as data flows. Reordering is
+*gated on raise-safety*: any term that can raise (arithmetic, CASE,
+fold-deferred constants, parameter lookups) pins the whole conjunction
+or disjunction to source order and the strict evaluation path, so
+error behaviour matches the row engine exactly. Reordering never
+changes the result set — the True set of a conjunction/disjunction is
+an intersection/union, which is commutative.
+
+Parameters resolve through :func:`repro.expr.bindings.active_value`
+once per batch — kernels are memoized per (expression, schema) like
+the row compiler and are never rebuilt per binding.
+
+This module sits in the ``expr`` layer (a sibling of ``compile``) and
+must not import upward.
+"""
+
+from __future__ import annotations
+
+import decimal
+from itertools import chain
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ExpressionError
+from repro.expr.bindings import active_value
+from repro.expr.compile import (
+    _COMPARISON_CHECKS,
+    _DIRECT_COMPARE,
+    _compare,
+    _is_constant,
+    compile_expression,
+)
+from repro.expr.evaluate import evaluate
+from repro.expr.nodes import (
+    Aggregate,
+    Arithmetic,
+    ArithmeticOp,
+    BooleanExpr,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Parameter,
+)
+from repro.expr.schema import RowSchema
+from repro.sqltypes import sql_compare
+from repro.sqltypes.values import NULL, sort_key
+
+Row = Tuple[Any, ...]
+Selection = List[int]
+
+# Vector-path observability (reset with reset_vector_stats).
+STATS: Dict[str, int] = {}
+
+
+def _count(name: str, amount: int = 1) -> None:
+    STATS[name] = STATS.get(name, 0) + amount
+
+
+def reset_vector_stats() -> None:
+    STATS.clear()
+
+
+def vector_stats() -> Dict[str, int]:
+    return dict(STATS)
+
+
+# ----------------------------------------------------------------------
+# Vector batches
+# ----------------------------------------------------------------------
+
+
+class VectorBatch:
+    """A block of rows in columnar form with a selection vector.
+
+    ``selection`` is either ``None`` (every physical row is live) or a
+    sorted list of physical row indices. ``column(p)`` returns the
+    *full-length* column — consumers index it through the selection.
+    Subclasses share cached columns across ``with_selection`` clones,
+    so a term evaluated before a filter narrowed the batch never
+    re-extracts its column.
+    """
+
+    __slots__ = ("selection", "length")
+
+    @property
+    def count(self) -> int:
+        selection = self.selection
+        return self.length if selection is None else len(selection)
+
+    def live(self) -> Sequence[int]:
+        selection = self.selection
+        return range(self.length) if selection is None else selection
+
+    def column(self, position: int) -> Sequence[Any]:
+        raise NotImplementedError
+
+    def row(self, index: int) -> Row:
+        raise NotImplementedError
+
+    def materialize(self) -> List[Row]:
+        """Live rows as tuples (the late-materialization point)."""
+        raise NotImplementedError
+
+    def with_selection(self, selection: Selection) -> "VectorBatch":
+        raise NotImplementedError
+
+    def take(self, n: int) -> "VectorBatch":
+        """The first ``n`` live rows (LIMIT)."""
+        selection = self.selection
+        if selection is None:
+            return self.with_selection(list(range(n)))
+        return self.with_selection(selection[:n])
+
+    def gather(self, position: int, sel: Sequence[int]) -> Sequence[Any]:
+        """Values of column ``position`` aligned with ``sel``.
+
+        Unlike ``column()`` (always full physical length), this is the
+        value-consumer entry point: when ``sel`` is sparse relative to
+        the block, subclasses gather just the live rows instead of
+        extracting the whole column first.
+        """
+        column = self.column(position)
+        if len(sel) == self.length:
+            return column
+        return [column[i] for i in sel]
+
+
+class RowBlock(VectorBatch):
+    """Row-tuple backed batch: scans wrap their batches at zero cost.
+
+    Columns are transposed lazily, once, on first access; materializing
+    returns the original tuple objects, so a vector pipeline that never
+    computes new values yields byte-identical rows for free.
+    """
+
+    __slots__ = ("rows", "_columns")
+
+    def __init__(
+        self,
+        rows: List[Row],
+        selection: Optional[Selection] = None,
+        _columns: Optional[Dict[int, List[Any]]] = None,
+    ):
+        self.rows = rows
+        self.length = len(rows)
+        self.selection = selection
+        self._columns = {} if _columns is None else _columns
+
+    def column(self, position: int) -> List[Any]:
+        column = self._columns.get(position)
+        if column is None:
+            column = [row[position] for row in self.rows]
+            self._columns[position] = column
+        return column
+
+    def row(self, index: int) -> Row:
+        return self.rows[index]
+
+    def materialize(self) -> List[Row]:
+        selection = self.selection
+        if selection is None:
+            return self.rows
+        rows = self.rows
+        return [rows[i] for i in selection]
+
+    def gather(self, position: int, sel: Sequence[int]) -> Sequence[Any]:
+        column = self._columns.get(position)
+        if column is None:
+            if 2 * len(sel) < self.length:
+                rows = self.rows
+                return [rows[i][position] for i in sel]
+            column = self.column(position)
+        if len(sel) == self.length:
+            return column
+        return [column[i] for i in sel]
+
+    def with_selection(self, selection: Selection) -> "RowBlock":
+        return RowBlock(self.rows, selection, self._columns)
+
+
+class ColumnBlock(VectorBatch):
+    """Column-list backed batch (projection output)."""
+
+    __slots__ = ("columns",)
+
+    def __init__(
+        self,
+        columns: List[List[Any]],
+        length: int,
+        selection: Optional[Selection] = None,
+    ):
+        self.columns = columns
+        self.length = length
+        self.selection = selection
+
+    def column(self, position: int) -> List[Any]:
+        return self.columns[position]
+
+    def row(self, index: int) -> Row:
+        return tuple(column[index] for column in self.columns)
+
+    def materialize(self) -> List[Row]:
+        columns = self.columns
+        selection = self.selection
+        if len(columns) == 1:
+            only = columns[0]
+            if selection is None:
+                return [(value,) for value in only]
+            return [(only[i],) for i in selection]
+        if selection is None:
+            return list(zip(*columns))
+        return list(zip(*([column[i] for i in selection] for column in columns)))
+
+    def with_selection(self, selection: Selection) -> "ColumnBlock":
+        return ColumnBlock(self.columns, self.length, selection)
+
+
+class JoinBlock(VectorBatch):
+    """Join output in deferred form: outer indices + inner row tuples.
+
+    One logical row per (outer physical index, inner row) match pair;
+    the wide concatenated tuple is never built unless someone
+    materializes. A projection above the join gathers only the columns
+    it needs, which is where wide equi-join pipelines win.
+    """
+
+    __slots__ = ("outer", "outer_width", "out_index", "inner_rows", "_columns")
+
+    def __init__(
+        self,
+        outer: VectorBatch,
+        outer_width: int,
+        out_index: List[int],
+        inner_rows: List[Row],
+        selection: Optional[Selection] = None,
+        _columns: Optional[Dict[int, List[Any]]] = None,
+    ):
+        self.outer = outer
+        self.outer_width = outer_width
+        self.out_index = out_index
+        self.inner_rows = inner_rows
+        self.length = len(out_index)
+        self.selection = selection
+        self._columns = {} if _columns is None else _columns
+
+    def column(self, position: int) -> List[Any]:
+        column = self._columns.get(position)
+        if column is None:
+            if position < self.outer_width:
+                source = self.outer.column(position)
+                column = [source[i] for i in self.out_index]
+            else:
+                inner_position = position - self.outer_width
+                column = [row[inner_position] for row in self.inner_rows]
+            self._columns[position] = column
+        return column
+
+    def row(self, index: int) -> Row:
+        return self.outer.row(self.out_index[index]) + self.inner_rows[index]
+
+    def materialize(self) -> List[Row]:
+        outer_row = self.outer.row
+        selection = self.selection
+        if selection is None:
+            return [
+                outer_row(i) + inner
+                for i, inner in zip(self.out_index, self.inner_rows)
+            ]
+        out_index, inner_rows = self.out_index, self.inner_rows
+        return [outer_row(out_index[j]) + inner_rows[j] for j in selection]
+
+    def gather(self, position: int, sel: Sequence[int]) -> Sequence[Any]:
+        column = self._columns.get(position)
+        if column is None:
+            if 2 * len(sel) < self.length:
+                if position < self.outer_width:
+                    out_index = self.out_index
+                    outer = self.outer
+                    # out_index values repeat, so bypass outer.gather()
+                    # (whose fast paths assume distinct live indices).
+                    if isinstance(outer, RowBlock) and 2 * len(sel) < outer.length:
+                        rows = outer.rows
+                        return [rows[out_index[i]][position] for i in sel]
+                    source = outer.column(position)
+                    return [source[out_index[i]] for i in sel]
+                inner_position = position - self.outer_width
+                inner_rows = self.inner_rows
+                return [inner_rows[i][inner_position] for i in sel]
+            column = self.column(position)
+        if len(sel) == self.length:
+            return column
+        return [column[i] for i in sel]
+
+    def with_selection(self, selection: Selection) -> "JoinBlock":
+        return JoinBlock(
+            self.outer,
+            self.outer_width,
+            self.out_index,
+            self.inner_rows,
+            selection,
+            self._columns,
+        )
+
+
+# ----------------------------------------------------------------------
+# Raise-safety and cost heuristics
+# ----------------------------------------------------------------------
+
+
+def _may_raise(expression: Expression) -> bool:
+    """Conservative: can evaluating this subtree raise on some row?
+
+    Arithmetic raises on type errors / division by zero, CASE hides
+    (and order-gates) raising arms, aggregates always raise per-row,
+    and parameters raise when unbound. Plain comparisons over typed
+    columns only raise on planning bugs, which both engines would hit.
+    """
+    if isinstance(expression, (Arithmetic, CaseWhen, Aggregate, Parameter)):
+        return True
+    return any(_may_raise(child) for child in expression.children())
+
+
+def _node_count(expression: Expression) -> int:
+    return 1 + sum(_node_count(child) for child in expression.children())
+
+
+# Observed selectivity kicks in once a term has seen this many rows;
+# below the threshold the catalog hint (or the 0.5 default) holds.
+_ADAPT_MIN_ROWS = 64
+
+
+def _and_rank(term: "_Term") -> float:
+    # Cheapest work per unit of rows *removed*: cost / (1 - selectivity).
+    passing = term.observed()
+    return term.cost / max(1e-6, 1.0 - min(passing, 0.999))
+
+
+def _or_rank(term: "_Term") -> float:
+    # Cheapest work per unit of rows *accepted*: cost / selectivity.
+    passing = term.observed()
+    return term.cost / max(1e-6, min(max(passing, 0.001), 1.0))
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+
+class _Term:
+    """One predicate node in vector form; see the module docstring for
+    the three views (`true_of`, `and_filter`, `or_filter`)."""
+
+    __slots__ = ("expression", "cost", "hint", "seen", "passed", "pure_bool", "no_raise")
+
+    def __init__(
+        self,
+        expression: Expression,
+        cost: float,
+        hint: Optional[float],
+        pure_bool: bool,
+        no_raise: bool,
+    ):
+        self.expression = expression
+        self.cost = cost
+        self.hint = hint
+        self.seen = 0
+        self.passed = 0
+        self.pure_bool = pure_bool
+        self.no_raise = no_raise
+
+    def observed(self) -> float:
+        """Current selectivity estimate (strict-True rate)."""
+        if self.seen >= _ADAPT_MIN_ROWS:
+            return self.passed / self.seen
+        if self.hint is not None:
+            return self.hint
+        return 0.5
+
+    def _record(self, rows_in: int, rows_true: int) -> None:
+        self.seen += rows_in
+        self.passed += rows_true
+
+    # Per-index tester returning the term's value for one physical row
+    # (identity semantics: True / False / None / anything else).
+    def _tester(self, batch: VectorBatch) -> Callable[[int], Any]:
+        raise NotImplementedError
+
+    def true_of(self, batch: VectorBatch, sel: Selection) -> Selection:
+        test = self._tester(batch)
+        out = [i for i in sel if test(i) is True]
+        self._record(len(sel), len(out))
+        return out
+
+    def and_filter(
+        self, batch: VectorBatch, sel: Selection
+    ) -> Tuple[Selection, Selection]:
+        test = self._tester(batch)
+        survivors: Selection = []
+        unknowns: Selection = []
+        keep = survivors.append
+        flag = unknowns.append
+        for i in sel:
+            value = test(i)
+            if value is False:
+                continue
+            keep(i)
+            if value is None:
+                flag(i)
+        self._record(len(sel), len(survivors) - len(unknowns))
+        return survivors, unknowns
+
+    def or_filter(
+        self, batch: VectorBatch, sel: Selection
+    ) -> Tuple[Selection, Selection]:
+        test = self._tester(batch)
+        accepted: Selection = []
+        unknowns: Selection = []
+        keep = accepted.append
+        flag = unknowns.append
+        for i in sel:
+            value = test(i)
+            if value is True:
+                keep(i)
+            elif value is None:
+                flag(i)
+        self._record(len(sel), len(accepted))
+        return accepted, unknowns
+
+
+# --- comparison against a constant: the hot leaf --------------------
+
+def _slow_true(value: Any, constant: Any, check: Callable[[int], bool]) -> bool:
+    cmp = sql_compare(value, constant)
+    return cmp is not None and check(cmp)
+
+
+def _true_eq(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v == constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _true_ne(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v != constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _true_lt(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v < constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _true_le(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v <= constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _true_gt(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v > constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _true_ge(column, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := column[i]) is kind and v >= constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+_TRUE_LOOPS = {
+    ComparisonOp.EQ: _true_eq,
+    ComparisonOp.NE: _true_ne,
+    ComparisonOp.LT: _true_lt,
+    ComparisonOp.LE: _true_le,
+    ComparisonOp.GT: _true_gt,
+    ComparisonOp.GE: _true_ge,
+}
+
+
+# Row-direct twins of the loops above: ``rows[i][position]`` instead of
+# ``column[i]``, so a predicate over a fresh RowBlock (straight off a
+# scan) never pays the column transpose at all.
+
+
+def _rows_eq(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v == constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _rows_ne(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v != constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _rows_lt(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v < constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _rows_le(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v <= constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _rows_gt(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v > constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+def _rows_ge(rows, position, sel, constant, kind, check):
+    return [
+        i
+        for i in sel
+        if (type(v := rows[i][position]) is kind and v >= constant)
+        or (type(v) is not kind and _slow_true(v, constant, check))
+    ]
+
+
+_ROWS_LOOPS = {
+    ComparisonOp.EQ: _rows_eq,
+    ComparisonOp.NE: _rows_ne,
+    ComparisonOp.LT: _rows_lt,
+    ComparisonOp.LE: _rows_le,
+    ComparisonOp.GT: _rows_gt,
+    ComparisonOp.GE: _rows_ge,
+}
+
+
+class _CompareConstLeaf(_Term):
+    """``column <op> constant`` with the constant's exact type guarding
+    a direct comparison — the vector form of the row engine's
+    ``column_against_constant`` fast path."""
+
+    __slots__ = ("position", "op", "constant", "kind", "_loop", "_rows_loop", "_check")
+
+    def __init__(self, expression, position, op, constant, hint):
+        super().__init__(expression, 1.0, hint, True, True)
+        self.position = position
+        self.op = op
+        self.constant = constant
+        self.kind = type(constant)
+        self._loop = _TRUE_LOOPS[op]
+        self._rows_loop = _ROWS_LOOPS[op]
+        self._check = _COMPARISON_CHECKS[op]
+
+    def true_of(self, batch, sel):
+        position = self.position
+        if type(batch) is RowBlock and position not in batch._columns:
+            out = self._rows_loop(
+                batch.rows, position, sel, self.constant, self.kind, self._check
+            )
+        else:
+            out = self._loop(
+                batch.column(position), sel, self.constant, self.kind, self._check
+            )
+        self._record(len(sel), len(out))
+        return out
+
+    def _tester(self, batch):
+        column = batch.column(self.position)
+        constant, kind, check = self.constant, self.kind, self._check
+
+        def test(i):
+            v = column[i]
+            if type(v) is kind:
+                if v < constant:
+                    return check(-1)
+                return check(1 if v > constant else 0)
+            cmp = sql_compare(v, constant)
+            return None if cmp is None else check(cmp)
+
+        return test
+
+
+class _CompareParamLeaf(_Term):
+    """``column <op> :param`` — the parameter resolves once per batch
+    through the thread-local scope, never rebinding the kernel."""
+
+    __slots__ = ("position", "op", "name", "_check")
+
+    def __init__(self, expression, position, op, name, hint):
+        # Parameters can raise (unbound), so this leaf never reorders.
+        super().__init__(expression, 1.2, hint, True, False)
+        self.position = position
+        self.op = op
+        self.name = name
+        self._check = _COMPARISON_CHECKS[op]
+
+    def true_of(self, batch, sel):
+        value = active_value(self.name)
+        if value is None or value is NULL:
+            self._record(len(sel), 0)
+            return []
+        kind = type(value)
+        if kind in _DIRECT_COMPARE:
+            position = self.position
+            if type(batch) is RowBlock and position not in batch._columns:
+                out = _ROWS_LOOPS[self.op](
+                    batch.rows, position, sel, value, kind, self._check
+                )
+            else:
+                out = _TRUE_LOOPS[self.op](
+                    batch.column(position), sel, value, kind, self._check
+                )
+        else:
+            column = batch.column(self.position)
+            check = self._check
+            out = []
+            keep = out.append
+            for i in sel:
+                cmp = _compare(column[i], value)
+                if cmp is not None and check(cmp):
+                    keep(i)
+        self._record(len(sel), len(out))
+        return out
+
+    def _tester(self, batch):
+        value = active_value(self.name)
+        column = batch.column(self.position)
+        check = self._check
+
+        def test(i):
+            cmp = _compare(column[i], value)
+            return None if cmp is None else check(cmp)
+
+        return test
+
+
+class _CompareColumnsLeaf(_Term):
+    """``column <op> column`` within one stream."""
+
+    __slots__ = ("left_position", "right_position", "_check")
+
+    def __init__(self, expression, left_position, right_position, op, hint):
+        super().__init__(expression, 2.0, hint, True, True)
+        self.left_position = left_position
+        self.right_position = right_position
+        self._check = _COMPARISON_CHECKS[op]
+
+    def _tester(self, batch):
+        left = batch.column(self.left_position)
+        right = batch.column(self.right_position)
+        check = self._check
+
+        def test(i):
+            cmp = _compare(left[i], right[i])
+            return None if cmp is None else check(cmp)
+
+        return test
+
+
+class _IsNullLeaf(_Term):
+    """``column IS [NOT] NULL`` — two-valued, never unknown."""
+
+    __slots__ = ("position", "negated")
+
+    def __init__(self, expression, position, negated, hint):
+        super().__init__(expression, 0.8, hint, True, True)
+        self.position = position
+        self.negated = negated
+
+    def true_of(self, batch, sel):
+        column = batch.column(self.position)
+        if self.negated:
+            out = [
+                i
+                for i in sel
+                if (v := column[i]) is not None and v is not NULL
+            ]
+        else:
+            out = [i for i in sel if (v := column[i]) is None or v is NULL]
+        self._record(len(sel), len(out))
+        return out
+
+    def _tester(self, batch):
+        column = batch.column(self.position)
+        if self.negated:
+            return lambda i: (v := column[i]) is not None and v is not NULL
+        return lambda i: (v := column[i]) is None or v is NULL
+
+
+def _slow_membership(needle: Any, values: Sequence[Any]) -> bool:
+    if needle is None or needle is NULL:
+        return False
+    for value in values:
+        cmp = _compare(needle, value)
+        if cmp is not None and cmp == 0:
+            return True
+    return False
+
+
+class _InListLeaf(_Term):
+    """``column IN (constants)`` with hoisted values.
+
+    When every value shares one direct-comparable type, exact-type rows
+    use a C-level ``in`` scan; everything else mirrors the row engine's
+    per-value ``_compare`` walk (NULL-in-list semantics included).
+    """
+
+    __slots__ = ("position", "values", "kind")
+
+    def __init__(self, expression, position, values, hint):
+        super().__init__(
+            expression, 1.0 + 0.3 * len(values), hint, True, True
+        )
+        self.position = position
+        self.values = tuple(values)
+        kinds = {type(value) for value in values}
+        self.kind = (
+            kinds.pop() if len(kinds) == 1 and kinds & _DIRECT_COMPARE else None
+        )
+
+    def true_of(self, batch, sel):
+        column = batch.column(self.position)
+        values = self.values
+        kind = self.kind
+        if kind is not None:
+            out = [
+                i
+                for i in sel
+                if (type(v := column[i]) is kind and v in values)
+                or (type(v) is not kind and _slow_membership(v, values))
+            ]
+        else:
+            out = [i for i in sel if _slow_membership(column[i], values)]
+        self._record(len(sel), len(out))
+        return out
+
+    def _tester(self, batch):
+        column = batch.column(self.position)
+        values = self.values
+
+        def test(i):
+            needle = column[i]
+            if needle is None or needle is NULL:
+                return None
+            saw_unknown = False
+            for value in values:
+                cmp = _compare(needle, value)
+                if cmp is None:
+                    saw_unknown = True
+                elif cmp == 0:
+                    return True
+            return None if saw_unknown else False
+
+        return test
+
+
+class _ConstLeaf(_Term):
+    """A constant predicate subtree, folded once per batch."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, expression, schema, hint, no_raise):
+        super().__init__(expression, 0.1, hint, False, no_raise)
+        self._fn = compile_expression(expression, schema)
+
+    def _value(self):
+        return self._fn(())
+
+    def true_of(self, batch, sel):
+        out = list(sel) if self._value() is True else []
+        self._record(len(sel), len(out))
+        return out
+
+    def and_filter(self, batch, sel):
+        value = self._value()
+        if value is False:
+            self._record(len(sel), 0)
+            return [], []
+        survivors = list(sel)
+        unknowns = list(sel) if value is None else []
+        self._record(len(sel), len(survivors) - len(unknowns))
+        return survivors, unknowns
+
+    def or_filter(self, batch, sel):
+        value = self._value()
+        if value is True:
+            self._record(len(sel), len(sel))
+            return list(sel), []
+        self._record(len(sel), 0)
+        return [], (list(sel) if value is None else [])
+
+
+class _FnLeaf(_Term):
+    """Fallback: evaluate the row closure per live row.
+
+    Trivially byte-identical (it *is* the row engine's closure) and
+    still selection-aware — later conjuncts see fewer rows.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, expression, schema, hint, pure_bool, no_raise, cost=None):
+        super().__init__(
+            expression,
+            (4.0 + _node_count(expression)) if cost is None else cost,
+            hint,
+            pure_bool,
+            no_raise,
+        )
+        self._fn = compile_expression(expression, schema)
+
+    def _tester(self, batch):
+        fn = self._fn
+        row = batch.row
+        _count("vector.fallback_terms")
+        return lambda i: fn(row(i))
+
+    def true_of(self, batch, sel):
+        fn = self._fn
+        row = batch.row
+        out = [i for i in sel if fn(row(i)) is True]
+        self._record(len(sel), len(out))
+        return out
+
+
+# --- boolean composition ---------------------------------------------
+
+
+class _NotTerm(_Term):
+    """NOT over a predicate-shaped term (always {True, False, None})."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, expression, inner: _Term, hint):
+        super().__init__(
+            expression, inner.cost + 0.1, hint, True, inner.no_raise
+        )
+        self.inner = inner
+
+    def true_of(self, batch, sel):
+        # NOT is True exactly where the inner term is False.
+        survivors, _unknowns = self.inner.and_filter(batch, sel)
+        alive = set(survivors)
+        out = [i for i in sel if i not in alive]
+        self._record(len(sel), len(out))
+        return out
+
+    def and_filter(self, batch, sel):
+        # NOT is False exactly where the inner term is True.
+        accepted, unknowns = self.inner.or_filter(batch, sel)
+        dropped = set(accepted)
+        survivors = [i for i in sel if i not in dropped]
+        self._record(len(sel), len(survivors) - len(unknowns))
+        return survivors, unknowns
+
+    def or_filter(self, batch, sel):
+        survivors, unknowns = self.inner.and_filter(batch, sel)
+        alive = set(survivors)
+        accepted = [i for i in sel if i not in alive]
+        self._record(len(sel), len(accepted))
+        return accepted, unknowns
+
+
+class _AndTerm(_Term):
+    """Conjunction with cost-ordered short-circuiting.
+
+    The fast path (every child raise-free *and* strictly boolean)
+    narrows the selection through each child's True set — the True set
+    of an AND is the intersection of its children's, so order does not
+    change the result, only the work. Mixed/raising children take the
+    strict path: candidates survive while not-False, unknown flags ride
+    along, and source order is preserved whenever any child can raise.
+    """
+
+    __slots__ = ("terms", "fast", "reorder_ok")
+
+    def __init__(self, expression, terms: List[_Term], hint):
+        no_raise = all(term.no_raise for term in terms)
+        super().__init__(
+            expression,
+            sum(term.cost for term in terms) + 0.1,
+            hint,
+            True,
+            no_raise,
+        )
+        self.terms = terms
+        self.reorder_ok = no_raise and len(terms) > 1
+        self.fast = no_raise and all(term.pure_bool for term in terms)
+
+    def ordered(self) -> List[_Term]:
+        if not self.reorder_ok:
+            return self.terms
+        return sorted(self.terms, key=_and_rank)
+
+    def true_of(self, batch, sel):
+        rows_in = len(sel)
+        if self.fast:
+            current = sel
+            for term in self.ordered():
+                if not current:
+                    break
+                current = term.true_of(batch, current)
+            self._record(rows_in, len(current))
+            return current
+        survivors, unknowns = self._strict(batch, sel)
+        if unknowns:
+            flagged = set(unknowns)
+            survivors = [i for i in survivors if i not in flagged]
+        self._record(rows_in, len(survivors))
+        return survivors
+
+    def _strict(self, batch, sel):
+        candidates = sel
+        flagged: set = set()
+        for term in self.ordered():
+            if not candidates:
+                break
+            candidates, unknowns = term.and_filter(batch, candidates)
+            if unknowns:
+                flagged.update(unknowns)
+        if flagged:
+            unknowns = [i for i in candidates if i in flagged]
+        else:
+            unknowns = []
+        return candidates, unknowns
+
+    def and_filter(self, batch, sel):
+        survivors, unknowns = self._strict(batch, sel)
+        self._record(len(sel), len(survivors) - len(unknowns))
+        return survivors, unknowns
+
+    def or_filter(self, batch, sel):
+        survivors, unknowns = self._strict(batch, sel)
+        if unknowns:
+            flagged = set(unknowns)
+            accepted = [i for i in survivors if i not in flagged]
+        else:
+            accepted = survivors
+        self._record(len(sel), len(accepted))
+        return accepted, unknowns
+
+
+class _OrTerm(_Term):
+    """Disjunction with accepted-row bypass.
+
+    Each disjunct only sees rows no earlier disjunct accepted — exactly
+    the row engine's short-circuit, lifted to the selection vector.
+    Ordering (cheapest, most-accepting first) is gated on raise-safety
+    like the conjunction.
+    """
+
+    __slots__ = ("terms", "reorder_ok")
+
+    def __init__(self, expression, terms: List[_Term], hint):
+        no_raise = all(term.no_raise for term in terms)
+        super().__init__(
+            expression,
+            sum(term.cost for term in terms) + 0.1,
+            hint,
+            True,
+            no_raise,
+        )
+        self.terms = terms
+        self.reorder_ok = no_raise and len(terms) > 1
+
+    def ordered(self) -> List[_Term]:
+        if not self.reorder_ok:
+            return self.terms
+        return sorted(self.terms, key=_or_rank)
+
+    def _scan(self, batch, sel, track_unknowns):
+        candidates = sel
+        parts: List[Selection] = []
+        flagged: Optional[set] = set() if track_unknowns else None
+        for term in self.ordered():
+            if not candidates:
+                break
+            if track_unknowns:
+                accepted, unknowns = term.or_filter(batch, candidates)
+                if unknowns:
+                    flagged.update(unknowns)
+            else:
+                accepted = term.true_of(batch, candidates)
+            if accepted:
+                parts.append(accepted)
+                hit = set(accepted)
+                candidates = [i for i in candidates if i not in hit]
+        if not parts:
+            accepted_all: Selection = []
+        elif len(parts) == 1:
+            accepted_all = parts[0]
+        else:
+            accepted_all = sorted(chain.from_iterable(parts))
+        return accepted_all, candidates, flagged
+
+    def true_of(self, batch, sel):
+        accepted, _rest, _flagged = self._scan(batch, sel, False)
+        self._record(len(sel), len(accepted))
+        return accepted
+
+    def or_filter(self, batch, sel):
+        accepted, rest, flagged = self._scan(batch, sel, True)
+        unknowns = [i for i in rest if i in flagged] if flagged else []
+        self._record(len(sel), len(accepted))
+        return accepted, unknowns
+
+    def and_filter(self, batch, sel):
+        accepted, rest, flagged = self._scan(batch, sel, True)
+        if flagged:
+            unknowns = [i for i in rest if i in flagged]
+            alive = set(accepted).union(unknowns)
+            survivors = [i for i in sel if i in alive]
+        else:
+            unknowns = []
+            survivors = accepted
+        self._record(len(sel), len(survivors) - len(unknowns))
+        return survivors, unknowns
+
+
+# ----------------------------------------------------------------------
+# Term construction
+# ----------------------------------------------------------------------
+
+_PREDICATE_SHAPED = (Comparison, BooleanExpr, Not, IsNull, InList)
+
+
+def _fold_direct_constant(expression: Expression) -> Optional[Any]:
+    if not _is_constant(expression):
+        return None
+    try:
+        value = evaluate(expression, RowSchema(()), ())
+    except Exception:
+        return None
+    if type(value) in _DIRECT_COMPARE:
+        return value
+    return None
+
+
+def _build_term(
+    expression: Expression,
+    schema: RowSchema,
+    hints: Optional[Mapping[Expression, float]],
+) -> _Term:
+    hint = hints.get(expression) if hints else None
+
+    if isinstance(expression, BooleanExpr):
+        terms = [
+            _build_term(operand, schema, hints)
+            for operand in expression.operands
+        ]
+        if sum(1 for term in terms if not term.no_raise) > 1:
+            # Two independently-raising siblings: even in source order,
+            # column-at-a-time runs term 1 over every row before term 2
+            # sees any, so *which row's* error surfaces first becomes
+            # order-dependent. Only the row closure preserves error
+            # identity with the reference engines.
+            return _FnLeaf(
+                expression, schema, hint, pure_bool=True, no_raise=False
+            )
+        if expression.op is BooleanOp.AND:
+            return _AndTerm(expression, terms, hint)
+        return _OrTerm(expression, terms, hint)
+
+    if isinstance(expression, Not) and isinstance(
+        expression.operand, _PREDICATE_SHAPED
+    ):
+        inner = _build_term(expression.operand, schema, hints)
+        return _NotTerm(expression, inner, hint)
+
+    if _is_constant(expression):
+        return _ConstLeaf(
+            expression, schema, hint, no_raise=not _may_raise(expression)
+        )
+
+    if isinstance(expression, Comparison):
+        left, right, op = expression.left, expression.right, expression.op
+        constant = _fold_direct_constant(right)
+        if constant is not None and isinstance(left, ColumnRef):
+            return _CompareConstLeaf(
+                expression, schema.position(left), op, constant, hint
+            )
+        constant = _fold_direct_constant(left)
+        if constant is not None and isinstance(right, ColumnRef):
+            return _CompareConstLeaf(
+                expression, schema.position(right), op.flipped(), constant, hint
+            )
+        if isinstance(left, ColumnRef) and isinstance(right, Parameter):
+            return _CompareParamLeaf(
+                expression, schema.position(left), op, right.name, hint
+            )
+        if isinstance(left, Parameter) and isinstance(right, ColumnRef):
+            return _CompareParamLeaf(
+                expression, schema.position(right), op.flipped(), left.name, hint
+            )
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            return _CompareColumnsLeaf(
+                expression,
+                schema.position(left),
+                schema.position(right),
+                op,
+                hint,
+            )
+        return _FnLeaf(
+            expression,
+            schema,
+            hint,
+            pure_bool=True,
+            no_raise=not _may_raise(expression),
+        )
+
+    if isinstance(expression, IsNull) and isinstance(
+        expression.operand, ColumnRef
+    ):
+        return _IsNullLeaf(
+            expression,
+            schema.position(expression.operand),
+            expression.negated,
+            hint,
+        )
+
+    if (
+        isinstance(expression, InList)
+        and isinstance(expression.operand, ColumnRef)
+        and all(_is_constant(value) for value in expression.values)
+    ):
+        try:
+            values = [
+                evaluate(value, RowSchema(()), ())
+                for value in expression.values
+            ]
+        except Exception:
+            values = None
+        if values is not None and all(
+            value is not None and value is not NULL for value in values
+        ):
+            return _InListLeaf(
+                expression, schema.position(expression.operand), values, hint
+            )
+
+    pure = isinstance(expression, _PREDICATE_SHAPED)
+    return _FnLeaf(
+        expression,
+        schema,
+        hint,
+        pure_bool=pure,
+        no_raise=not _may_raise(expression),
+    )
+
+
+class VectorFilter:
+    """Compiled selection-vector predicate: ``filter(batch) -> selection``."""
+
+    __slots__ = ("expression", "schema", "root")
+
+    def __init__(
+        self,
+        expression: Expression,
+        schema: RowSchema,
+        hints: Optional[Mapping[Expression, float]] = None,
+    ):
+        self.expression = expression
+        self.schema = schema
+        self.root = _build_term(expression, schema, hints)
+
+    def __call__(self, batch: VectorBatch) -> Selection:
+        sel = batch.live()
+        if type(sel) is range:
+            sel = list(sel)
+        if not sel:
+            return []
+        return self.root.true_of(batch, sel)
+
+    def term_order(self) -> List[Expression]:
+        """Current evaluation order of the root's direct terms
+        (observability for the reordering tests/benchmarks)."""
+        root = self.root
+        if isinstance(root, (_AndTerm, _OrTerm)):
+            return [term.expression for term in root.ordered()]
+        return [root.expression]
+
+
+_FILTER_MEMO: Dict[Tuple[Expression, RowSchema], VectorFilter] = {}
+
+
+def compile_vector_filter(
+    expression: Expression,
+    schema: RowSchema,
+    hints: Optional[Mapping[Expression, float]] = None,
+) -> VectorFilter:
+    """Memoized per (expression, schema) like the row compiler; the
+    adaptive term statistics live on the shared kernel, so repeated
+    executions keep learning. Hints only seed the first compilation."""
+    _count("vector.filter_calls")
+    key = (expression, schema)
+    cached = _FILTER_MEMO.get(key)
+    if cached is not None:
+        _count("vector.filter_memo_hits")
+        return cached
+    kernel = VectorFilter(expression, schema, hints)
+    _FILTER_MEMO[key] = kernel
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Value and projection kernels
+# ----------------------------------------------------------------------
+
+ValueKernel = Callable[[VectorBatch, Selection], List[Any]]
+
+_VALUE_MEMO: Dict[Tuple[Expression, RowSchema], ValueKernel] = {}
+
+_ARITHMETIC_FNS = {
+    ArithmeticOp.ADD: lambda a, b: a + b,
+    ArithmeticOp.SUB: lambda a, b: a - b,
+    ArithmeticOp.MUL: lambda a, b: a * b,
+}
+
+
+def clear_vector_cache() -> None:
+    """Drop memoized vector kernels (tests that count compilations)."""
+    _FILTER_MEMO.clear()
+    _VALUE_MEMO.clear()
+
+
+def vector_value_kernel(
+    expression: Expression, schema: RowSchema
+) -> ValueKernel:
+    """``kernel(batch, sel) -> values`` aligned with ``sel``.
+
+    Column references gather (or alias the column outright when the
+    selection is dense); raise-free arithmetic combines child columns
+    with the row engine's exact NULL/coercion rules; everything else —
+    including division, whose error timing is row-ordered — falls back
+    to the compiled row closure over ``batch.row``.
+    """
+    key = (expression, schema)
+    cached = _VALUE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    kernel = _build_value_kernel(expression, schema)
+    _VALUE_MEMO[key] = kernel
+    return kernel
+
+
+def _build_value_kernel(
+    expression: Expression, schema: RowSchema
+) -> ValueKernel:
+    if isinstance(expression, ColumnRef):
+        position = schema.position(expression)
+
+        def gather(batch: VectorBatch, sel: Selection) -> List[Any]:
+            return batch.gather(position, sel)
+
+        return gather
+
+    if isinstance(expression, Parameter):
+        name = expression.name
+        return lambda batch, sel: [active_value(name)] * len(sel)
+
+    if _is_constant(expression):
+        try:
+            value = evaluate(expression, RowSchema(()), ())
+        except Exception:
+            # Defer the fold error to call time like the row compiler.
+            return lambda batch, sel: [
+                evaluate(expression, RowSchema(()), ()) for _ in sel
+            ]
+        return lambda batch, sel: [value] * len(sel)
+
+    if (
+        isinstance(expression, Arithmetic)
+        and expression.op is not ArithmeticOp.DIV
+    ):
+        left_kernel = _build_value_kernel(expression.left, schema)
+        right_kernel = _build_value_kernel(expression.right, schema)
+        apply = _ARITHMETIC_FNS[expression.op]
+        op = expression.op
+        Decimal = decimal.Decimal
+
+        def arithmetic(batch: VectorBatch, sel: Selection) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for left, right in zip(
+                left_kernel(batch, sel), right_kernel(batch, sel)
+            ):
+                if (
+                    left is None
+                    or right is None
+                    or left is NULL
+                    or right is NULL
+                ):
+                    append(None)
+                    continue
+                if isinstance(left, Decimal) and isinstance(right, float):
+                    right = Decimal(str(right))
+                elif isinstance(right, Decimal) and isinstance(left, float):
+                    left = Decimal(str(left))
+                try:
+                    append(apply(left, right))
+                except (TypeError, decimal.InvalidOperation) as exc:
+                    raise ExpressionError(
+                        f"cannot compute {left!r} {op.value} {right!r}"
+                    ) from exc
+            return out
+
+        return arithmetic
+
+    # Everything else (CASE, DIV, boolean-valued expressions, ...) runs
+    # the compiled row closure per live row — byte-identical by
+    # construction, still selection-aware.
+    fn = compile_expression(expression, schema)
+
+    def fallback(batch: VectorBatch, sel: Selection) -> List[Any]:
+        row = batch.row
+        return [fn(row(i)) for i in sel]
+
+    return fallback
+
+
+def vector_projection_kernel(
+    expressions: Sequence[Expression], schema: RowSchema
+) -> Callable[[VectorBatch], ColumnBlock]:
+    """``kernel(batch) -> dense ColumnBlock`` of the output columns."""
+    kernels = [
+        vector_value_kernel(expression, schema) for expression in expressions
+    ]
+
+    def project(batch: VectorBatch) -> ColumnBlock:
+        sel = batch.live()
+        if type(sel) is range:
+            sel = list(sel)
+        columns = [kernel(batch, sel) for kernel in kernels]
+        return ColumnBlock(columns, len(sel))
+
+    return project

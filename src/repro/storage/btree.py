@@ -219,6 +219,38 @@ class BPlusTree:
             self._touch(node)
         return node  # type: ignore[return-value]
 
+    def probe(self, key: Key) -> List[Rid]:
+        """Equality point-probe: RIDs of every entry whose key prefix
+        equals ``key``, in leaf order.
+
+        Touches exactly the pages ``scan_range(low=key, high=key)``
+        would, but returns a plain list — index-nested-loop joins issue
+        thousands of these, and the generator frames plus per-entry
+        bound re-slicing of the general range scan are pure overhead
+        for a point lookup.
+        """
+        if self._entry_count == 0:
+            return []
+        leaf = self._descend(key)
+        width = len(key)
+        out: List[Rid] = []
+        append = out.append
+        while leaf is not None:
+            keys = leaf.keys
+            full = keys and width == len(keys[0])
+            for position, stored in enumerate(keys):
+                prefix = stored if full else stored[:width]
+                if prefix < key:
+                    continue
+                if prefix > key:
+                    return out
+                append(leaf.values[position])
+            next_leaf = leaf.next_leaf
+            if next_leaf is not None:
+                self._touch(next_leaf)
+            leaf = next_leaf
+        return out
+
     def scan_range(
         self,
         low: Optional[Key] = None,

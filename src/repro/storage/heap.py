@@ -70,6 +70,19 @@ class HeapFile:
             for slot, row in enumerate(page):
                 yield Rid(page_no, slot), row
 
+    def scan_pages(self) -> Iterator[List[Tuple[Any, ...]]]:
+        """Sequential scan, one page of records at a time.
+
+        Charges the same page accesses as :meth:`scan` but skips the
+        per-record Rid construction for callers that only want rows.
+        The yielded lists are the live pages — do not mutate them.
+        """
+        access = self.buffer_pool.access
+        file_id = self.file_id
+        for page_no, page in enumerate(self._pages):
+            access((file_id, page_no))
+            yield page
+
     def truncate(self) -> None:
         self._pages.clear()
         self.buffer_pool.invalidate(self.file_id)

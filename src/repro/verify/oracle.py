@@ -35,6 +35,7 @@ from repro.executor.build import build_operator
 from repro.executor.context import (
     MODE_COMPILED,
     MODE_INTERPRETED,
+    MODE_VECTOR,
     ExecutionContext,
 )
 from repro.optimizer import OptimizerConfig, Plan
@@ -198,9 +199,9 @@ def check_query(
     batch-check the same query reuse it). ``audit_configs`` names matrix
     entries whose chosen plan additionally gets a full per-node property
     audit. ``compare_exec_modes`` re-executes each chosen plan under
-    both executor engines (compiled and interpreted, explicitly — so a
-    global ``REPRO_EXEC`` override cannot make the check vacuous) and
-    requires byte-identical rows in identical order.
+    all three executor engines (compiled, interpreted, and vector,
+    explicitly — so a global ``REPRO_EXEC`` override cannot make the
+    check vacuous) and requires byte-identical rows in identical order.
     """
     if configs is None:
         configs = full_matrix()
@@ -286,35 +287,38 @@ def check_query(
 
 
 def _exec_mode_divergence(database: Database, plan: Plan) -> Optional[str]:
-    """Run ``plan`` under both executor engines; describe any difference.
+    """Run ``plan`` under every executor engine; describe any difference.
 
-    The comparison is exact (list equality), not multiset: the engines
-    must agree on row order too.
+    The interpreter is the semantic reference; compiled and vector are
+    each diffed against it pairwise. The comparison is exact (list
+    equality), not multiset: the engines must agree on row order too.
     """
-    compiled = execute(
-        database, plan, context=ExecutionContext(database, mode=MODE_COMPILED)
-    )
     interpreted = execute(
         database,
         plan,
         context=ExecutionContext(database, mode=MODE_INTERPRETED),
     )
-    if compiled.rows == interpreted.rows:
-        return None
-    if len(compiled.rows) != len(interpreted.rows):
-        return (
-            f"compiled produced {len(compiled.rows)} rows, interpreted "
-            f"{len(interpreted.rows)}\n{plan.explain()}"
+    for mode in (MODE_COMPILED, MODE_VECTOR):
+        challenger = execute(
+            database, plan, context=ExecutionContext(database, mode=mode)
         )
-    for index, (left, right) in enumerate(
-        zip(compiled.rows, interpreted.rows)
-    ):
-        if left != right:
+        if challenger.rows == interpreted.rows:
+            continue
+        if len(challenger.rows) != len(interpreted.rows):
             return (
-                f"row {index} differs: compiled {left!r} vs interpreted "
-                f"{right!r}\n{plan.explain()}"
+                f"{mode} produced {len(challenger.rows)} rows, interpreted "
+                f"{len(interpreted.rows)}\n{plan.explain()}"
             )
-    return f"rows differ\n{plan.explain()}"  # pragma: no cover
+        for index, (left, right) in enumerate(
+            zip(challenger.rows, interpreted.rows)
+        ):
+            if left != right:
+                return (
+                    f"row {index} differs: {mode} {left!r} vs interpreted "
+                    f"{right!r}\n{plan.explain()}"
+                )
+        return f"{mode} rows differ\n{plan.explain()}"  # pragma: no cover
+    return None
 
 
 # ----------------------------------------------------------------------

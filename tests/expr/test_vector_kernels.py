@@ -1,0 +1,338 @@
+"""Vector predicate/value kernels vs the interpreter, leaf by leaf.
+
+:mod:`repro.expr.vector` promises byte-identical semantics with the row
+engines while reordering work. These tests pin the pieces that make
+that promise hold: every leaf's True set matches the interpreter's,
+cost ordering follows the selectivity hints, reordering is *disabled*
+the moment a term can raise, OR's accepted-row bypass actually skips
+rows, gather() is selection-exact on every batch shape, and the
+accumulator's run folding is value-for-value identical to per-row adds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executor.aggregate import _Accumulator
+from repro.expr import (
+    BooleanExpr,
+    BooleanOp,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Not,
+    RowSchema,
+    col,
+    evaluate,
+    lit,
+)
+from repro.expr.nodes import AggregateKind, Arithmetic, ArithmeticOp
+from repro.expr.vector import (
+    ColumnBlock,
+    JoinBlock,
+    RowBlock,
+    VectorFilter,
+    clear_vector_cache,
+    compile_vector_filter,
+    vector_value_kernel,
+)
+from repro.sqltypes.values import NULL
+
+X, Y = col("t", "x"), col("t", "y")
+SCHEMA = RowSchema([X, Y])
+
+ROWS = [
+    (0, 5),
+    (1, None),
+    (None, 3),
+    (3, 3),
+    (4, 0),
+    (None, None),
+    (6, 2),
+    (7, 7),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernels():
+    # Kernels are memoized per (expression, schema) and carry adaptive
+    # statistics; tests that assert ordering or counters need a clean
+    # slate.
+    clear_vector_cache()
+    yield
+    clear_vector_cache()
+
+
+def reference_selection(expression, rows, schema=SCHEMA):
+    return [
+        i
+        for i, row in enumerate(rows)
+        if evaluate(expression, schema, row) is True
+    ]
+
+
+def assert_matches_interpreter(expression, rows=ROWS, schema=SCHEMA):
+    kernel = VectorFilter(expression, schema)
+    batch = RowBlock(list(rows))
+    assert kernel(batch) == reference_selection(expression, rows, schema), (
+        expression
+    )
+
+
+class TestLeafTruthTables:
+    def test_compare_constant_all_ops(self):
+        for op in ComparisonOp:
+            assert_matches_interpreter(Comparison(op, X, lit(3)))
+
+    def test_compare_constant_flipped(self):
+        # constant <op> column folds into the same fast leaf with the
+        # operator flipped; semantics must be the unflipped ones.
+        for op in ComparisonOp:
+            assert_matches_interpreter(Comparison(op, lit(3), X))
+
+    def test_compare_columns(self):
+        for op in ComparisonOp:
+            assert_matches_interpreter(Comparison(op, X, Y))
+
+    def test_is_null(self):
+        assert_matches_interpreter(IsNull(X, negated=False))
+        assert_matches_interpreter(IsNull(X, negated=True))
+
+    def test_in_list(self):
+        assert_matches_interpreter(InList(X, (lit(1), lit(3), lit(7))))
+        assert_matches_interpreter(
+            Not(InList(X, (lit(1), lit(3), lit(7))))
+        )
+
+    def test_mixed_numeric_comparison(self):
+        rows = [(0.5, 1), (2, 1.5), (None, 1), (3, 3)]
+        assert_matches_interpreter(Comparison(ComparisonOp.GT, X, lit(1)), rows)
+
+    def test_not_and_or_compositions(self):
+        a = Comparison(ComparisonOp.GT, X, lit(2))
+        b = Comparison(ComparisonOp.LT, Y, lit(4))
+        for expression in (
+            BooleanExpr(BooleanOp.AND, (a, b)),
+            BooleanExpr(BooleanOp.OR, (a, b)),
+            Not(BooleanExpr(BooleanOp.AND, (a, b))),
+            Not(BooleanExpr(BooleanOp.OR, (a, b))),
+            BooleanExpr(BooleanOp.OR, (Not(a), IsNull(X, negated=False))),
+        ):
+            assert_matches_interpreter(expression)
+
+    def test_rows_loop_equals_column_loop(self):
+        # First call on a fresh RowBlock takes the rows-direct loop;
+        # once the column is transposed the same kernel takes the
+        # column loop. Same selection either way.
+        expression = Comparison(ComparisonOp.GE, X, lit(3))
+        kernel = VectorFilter(expression, SCHEMA)
+        fresh = RowBlock(list(ROWS))
+        via_rows = kernel(fresh)
+        assert 0 not in fresh._columns  # rows loop: no transpose
+        fresh.column(0)
+        via_column = kernel(fresh)
+        assert via_rows == via_column == reference_selection(
+            expression, ROWS
+        )
+
+
+class TestCostOrdering:
+    def test_and_orders_most_selective_first(self):
+        cheap = Comparison(ComparisonOp.GT, X, lit(3))
+        picky = Comparison(ComparisonOp.LT, Y, lit(4))
+        expression = BooleanExpr(BooleanOp.AND, (cheap, picky))
+        kernel = VectorFilter(
+            expression, SCHEMA, hints={cheap: 0.9, picky: 0.1}
+        )
+        assert kernel.term_order() == [picky, cheap]
+        flipped = VectorFilter(
+            expression, SCHEMA, hints={cheap: 0.1, picky: 0.9}
+        )
+        assert flipped.term_order() == [cheap, picky]
+
+    def test_or_orders_most_accepting_first(self):
+        a = Comparison(ComparisonOp.GT, X, lit(3))
+        b = Comparison(ComparisonOp.LT, Y, lit(4))
+        expression = BooleanExpr(BooleanOp.OR, (a, b))
+        kernel = VectorFilter(expression, SCHEMA, hints={a: 0.1, b: 0.9})
+        assert kernel.term_order() == [b, a]
+
+    def test_ordering_never_changes_result(self):
+        a = Comparison(ComparisonOp.GT, X, lit(2))
+        b = InList(Y, (lit(0), lit(3)))
+        for op in (BooleanOp.AND, BooleanOp.OR):
+            expression = BooleanExpr(op, (a, b))
+            expected = reference_selection(expression, ROWS)
+            for hints in ({a: 0.05, b: 0.95}, {a: 0.95, b: 0.05}):
+                clear_vector_cache()
+                kernel = VectorFilter(expression, SCHEMA, hints=hints)
+                assert kernel(RowBlock(list(ROWS))) == expected
+
+    def test_raising_term_pins_source_order(self):
+        # x + y > 3 can raise (arithmetic), so the conjunction must not
+        # reorder even when hints would prefer to.
+        raising = Comparison(
+            ComparisonOp.GT,
+            Arithmetic(ArithmeticOp.ADD, X, Y),
+            lit(3),
+        )
+        safe = Comparison(ComparisonOp.LT, Y, lit(4))
+        expression = BooleanExpr(BooleanOp.AND, (raising, safe))
+        kernel = VectorFilter(
+            expression, SCHEMA, hints={raising: 0.9, safe: 0.1}
+        )
+        assert not kernel.root.reorder_ok
+        assert kernel.term_order() == [raising, safe]
+        assert_matches_interpreter(expression)
+
+    def test_two_raising_siblings_fall_back_to_row_closure(self):
+        # Column-at-a-time would make *which row's* error surfaces
+        # first order-dependent; two raising siblings force the row
+        # closure, whose term_order is the whole expression.
+        left = Comparison(
+            ComparisonOp.GT, Arithmetic(ArithmeticOp.ADD, X, Y), lit(3)
+        )
+        right = Comparison(
+            ComparisonOp.LT, Arithmetic(ArithmeticOp.MUL, X, Y), lit(9)
+        )
+        expression = BooleanExpr(BooleanOp.AND, (left, right))
+        kernel = VectorFilter(expression, SCHEMA)
+        assert kernel.term_order() == [expression]
+        assert_matches_interpreter(expression)
+
+    def test_or_bypass_skips_accepted_rows(self):
+        # Rows the first disjunct accepts never reach the second.
+        a = Comparison(ComparisonOp.GE, X, lit(0))  # accepts non-NULL x
+        b = Comparison(ComparisonOp.LT, Y, lit(4))
+        expression = BooleanExpr(BooleanOp.OR, (a, b))
+        kernel = VectorFilter(expression, SCHEMA, hints={a: 0.9, b: 0.1})
+        assert kernel.term_order() == [a, b]
+        kernel(RowBlock(list(ROWS)))
+        first, second = kernel.root.ordered()
+        assert first.seen == len(ROWS)
+        accepted = len(reference_selection(Comparison(ComparisonOp.GE, X, lit(0)), ROWS))
+        assert second.seen == len(ROWS) - accepted
+        assert second.seen < first.seen
+
+    def test_adaptive_stats_accumulate_across_batches(self):
+        a = Comparison(ComparisonOp.GT, X, lit(3))
+        b = Comparison(ComparisonOp.LT, Y, lit(4))
+        expression = BooleanExpr(BooleanOp.AND, (a, b))
+        kernel = compile_vector_filter(expression, SCHEMA)
+        assert compile_vector_filter(expression, SCHEMA) is kernel  # memo
+        for _ in range(20):
+            kernel(RowBlock(list(ROWS)))
+        first = kernel.root.ordered()[0]
+        assert first.seen >= 64  # past _ADAPT_MIN_ROWS: observed rules
+        assert 0.0 <= first.observed() <= 1.0
+
+
+class TestGather:
+    def test_row_block_sparse_and_dense(self):
+        sparse = [1, 4, 6]
+        fresh = RowBlock(list(ROWS))
+        assert fresh.gather(0, sparse) == [ROWS[i][0] for i in sparse]
+        # The sparse path must not have transposed the whole column.
+        assert 0 not in fresh._columns
+        full = list(range(len(ROWS)))
+        assert list(fresh.gather(0, full)) == [row[0] for row in ROWS]
+        # Dense gather transposes once and aliases thereafter.
+        assert fresh.gather(0, full) is fresh._columns[0]
+        assert fresh.gather(0, sparse) == [ROWS[i][0] for i in sparse]
+
+    def test_column_block_gather(self):
+        columns = [[r[0] for r in ROWS], [r[1] for r in ROWS]]
+        block = ColumnBlock(columns, len(ROWS))
+        assert list(block.gather(1, [0, 3, 7])) == [5, 3, 7]
+        assert list(block.gather(1, list(range(len(ROWS))))) == columns[1]
+
+    def test_join_block_gather_with_repeated_outer_indices(self):
+        # Join output repeats outer rows; gather must follow the
+        # indirection instead of treating out_index as a selection.
+        outer = RowBlock([(10, 11), (20, 21), (30, 31)])
+        out_index = [0, 0, 2, 2, 2]
+        inner_rows = [(f"i{j}",) for j in range(5)]
+        block = JoinBlock(outer, 2, out_index, inner_rows)
+        full = list(range(5))
+        assert list(block.gather(0, full)) == [10, 10, 30, 30, 30]
+        assert list(block.gather(2, full)) == ["i0", "i1", "i2", "i3", "i4"]
+        sparse = [1, 4]
+        assert list(block.gather(0, sparse)) == [10, 30]
+        assert list(block.gather(1, sparse)) == [11, 31]
+        assert list(block.gather(2, sparse)) == ["i1", "i4"]
+        assert block.materialize() == [
+            (10, 11, "i0"),
+            (10, 11, "i1"),
+            (30, 31, "i2"),
+            (30, 31, "i3"),
+            (30, 31, "i4"),
+        ]
+
+    def test_value_kernel_matches_interpreter(self):
+        expressions = (
+            X,
+            Arithmetic(ArithmeticOp.ADD, X, Y),
+            Arithmetic(ArithmeticOp.MUL, X, lit(2)),
+            lit(7),
+        )
+        batch = RowBlock(list(ROWS))
+        sel = [0, 3, 4, 6, 7]
+        for expression in expressions:
+            kernel = vector_value_kernel(expression, SCHEMA)
+            expected = [
+                evaluate(expression, SCHEMA, ROWS[i]) for i in sel
+            ]
+            assert list(kernel(batch, sel)) == expected, expression
+
+
+class TestAccumulatorRunFolding:
+    def run_vs_add(self, kind, values, distinct=False, chunk=3):
+        per_row = _Accumulator(kind, distinct)
+        for value in values:
+            per_row.add(value)
+        folded = _Accumulator(kind, distinct)
+        for start in range(0, len(values), chunk):
+            folded.add_run(values[start : start + chunk])
+        assert folded.result() == per_row.result()
+        # Exact object-level equality for floats: same fold order means
+        # bit-identical sums, not just approximately equal ones.
+        assert repr(folded.result()) == repr(per_row.result())
+        return folded.result()
+
+    def test_sum_float_fold_order(self):
+        values = [0.1, 0.2, 0.3, 1e16, 1.0, -1e16, 0.7, None, 0.1]
+        self.run_vs_add(AggregateKind.SUM, values)
+        self.run_vs_add(AggregateKind.AVG, values)
+
+    def test_nulls_and_sentinel(self):
+        values = [None, NULL, 5, None, 3, NULL]
+        assert self.run_vs_add(AggregateKind.SUM, values) == 8
+        assert self.run_vs_add(AggregateKind.MIN, values) == 3
+
+    def test_min_max_ties_keep_first(self):
+        # Decimal('1.0') and Decimal('1.00') tie under sort_key; the
+        # strict < / > comparison must keep the first-seen value.
+        import decimal
+
+        values = [decimal.Decimal("1.0"), decimal.Decimal("1.00")]
+        result = self.run_vs_add(AggregateKind.MIN, values, chunk=1)
+        assert str(result) == "1.0"
+        result = self.run_vs_add(AggregateKind.MIN, values, chunk=2)
+        assert str(result) == "1.0"
+
+    def test_distinct_routes_through_add(self):
+        values = [1, 1, 2, None, 2, 3]
+        assert self.run_vs_add(AggregateKind.COUNT, values, distinct=True) == 3
+        assert self.run_vs_add(AggregateKind.SUM, values, distinct=True) == 6
+
+    def test_add_count_matches_count_star(self):
+        from repro.executor.aggregate import _COUNT_STAR
+
+        per_row = _Accumulator(AggregateKind.COUNT, False)
+        for _ in range(7):
+            per_row.add(_COUNT_STAR)
+        bulk = _Accumulator(AggregateKind.COUNT, False)
+        bulk.add_count(4)
+        bulk.add_count(3)
+        assert bulk.result() == per_row.result() == 7
