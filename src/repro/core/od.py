@@ -1,0 +1,300 @@
+"""Order dependencies: directed "sorted by X implies sorted by Y" facts.
+
+Functional dependencies (Section 4 of the paper) cannot see that
+``val + 1`` sorts identically to ``val``, or that a stream ordered by a
+date is automatically ordered by ``year(date)``. Order dependencies
+(Szlichta/Godfrey/Gryz, "Fundamentals of Order Dependencies") capture
+exactly that: an edge ``X |-> Y`` asserts that whenever ``s.X < t.X``
+then ``s.Y <= t.Y`` (or ``s.Y >= t.Y`` when the edge is *flipped*, as
+produced by e.g. ``c - col``), and additionally that equal ``X`` values
+have equal ``Y`` values — i.e. every edge also implies the FD
+``{X} -> {Y}``.
+
+Two strength levels matter to the algebra:
+
+* a one-directional edge (``date |-> year(date)``): a stream sorted by
+  the source is sorted by the target, but not vice versa;
+* an *order-equivalent* pair (both ``X |-> Y`` and ``Y |-> X`` with the
+  same flip, from strictly monotonic expressions like ``col + 1``):
+  either column may stand in for the other in an order specification.
+
+:class:`ODSet` mirrors the :class:`~repro.core.fd.FDSet` idiom —
+immutable by convention, O(1) dedup on :meth:`ODSet.add` /
+:meth:`ODSet.union`, and a lazily built transitive closure (flips
+compose by XOR). The empty singleton :data:`EMPTY_ODS` is the default
+everywhere, keeping the FD-only paths byte-identical when the
+``use_order_dependencies`` toggle is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.fd import FunctionalDependency
+from repro.expr.nodes import ColumnRef
+
+
+@dataclass(frozen=True)
+class OrderDependency:
+    """One directed edge ``source |-> target``.
+
+    ``flip`` records direction reversal: a stream ascending by
+    ``source`` is *descending* by ``target`` (e.g. ``10 - col``).
+    """
+
+    source: ColumnRef
+    target: ColumnRef
+    flip: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = "|->(desc)" if self.flip else "|->"
+        return f"{self.source} {arrow} {self.target}"
+
+
+class ODSet:
+    """An immutable-by-convention collection of order dependencies.
+
+    Queries the order algebra needs:
+
+    * :meth:`flips` — the set of flip values under which the closure
+      contains ``source |-> target`` (empty when it does not);
+    * :meth:`order_equivalent_flip` — whether two columns are mutually
+      ordering (strict monotone both ways), and with which flip;
+    * :meth:`implied_fds` — the ``{X} -> {Y}`` FDs every edge carries,
+      folded into :class:`~repro.core.context.OrderContext` so
+      reduction and constant detection see OD facts for free.
+    """
+
+    __slots__ = ("_edges", "_members", "_closure")
+
+    def __init__(self, edges: Iterable[OrderDependency] = ()):
+        deduped: List[OrderDependency] = []
+        seen: Set[OrderDependency] = set()
+        for edge in edges:
+            if edge.source == edge.target:
+                continue  # reflexive edges are trivially true
+            if edge not in seen:
+                seen.add(edge)
+                deduped.append(edge)
+        self._edges: Tuple[OrderDependency, ...] = tuple(deduped)
+        self._members: FrozenSet[OrderDependency] = frozenset(seen)
+        self._closure: Optional[
+            Dict[ColumnRef, Dict[ColumnRef, FrozenSet[bool]]]
+        ] = None
+
+    @classmethod
+    def _make(
+        cls,
+        edges: Tuple[OrderDependency, ...],
+        members: FrozenSet[OrderDependency],
+    ) -> "ODSet":
+        created = cls.__new__(cls)
+        created._edges = edges
+        created._members = members
+        created._closure = None
+        return created
+
+    @property
+    def edges(self) -> Tuple[OrderDependency, ...]:
+        return self._edges
+
+    def as_frozenset(self) -> FrozenSet[OrderDependency]:
+        """The edges as a set — context fingerprints hash this."""
+        return self._members
+
+    def is_empty(self) -> bool:
+        return not self._edges
+
+    def add(self, edge: OrderDependency) -> "ODSet":
+        """A new ODSet with ``edge`` appended (no-op if present)."""
+        if edge in self._members or edge.source == edge.target:
+            return self
+        return ODSet._make(self._edges + (edge,), self._members | {edge})
+
+    def add_equivalence(
+        self, first: ColumnRef, second: ColumnRef, flip: bool = False
+    ) -> "ODSet":
+        """Both directions of a strictly monotonic relationship."""
+        return self.add(OrderDependency(first, second, flip)).add(
+            OrderDependency(second, first, flip)
+        )
+
+    def union(self, other: "ODSet") -> "ODSet":
+        if other is self or not other._edges:
+            return self
+        if not self._edges:
+            return other
+        if other._members <= self._members:
+            return self
+        merged = list(self._edges)
+        for edge in other._edges:
+            if edge not in self._members:
+                merged.append(edge)
+        return ODSet._make(tuple(merged), self._members | other._members)
+
+    def restrict(self, columns: Iterable[ColumnRef]) -> "ODSet":
+        """Only the edges with both endpoints inside ``columns`` —
+        projection and grouping narrow OD sets with this."""
+        if not self._edges:
+            return self
+        keep = frozenset(columns)
+        kept = tuple(
+            edge
+            for edge in self._edges
+            if edge.source in keep and edge.target in keep
+        )
+        if len(kept) == len(self._edges):
+            return self
+        if not kept:
+            return EMPTY_ODS
+        return ODSet._make(kept, frozenset(kept))
+
+    def projected(self, columns: Iterable[ColumnRef]) -> "ODSet":
+        """Closure edges with both endpoints inside ``columns``.
+
+        Unlike :meth:`restrict` this survives a dropped intermediate:
+        with ``a |-> b |-> c`` and a projection keeping only ``a`` and
+        ``c``, the transitive ``a |-> c`` is materialized as a base
+        edge. The final projection uses this so output-column OD facts
+        do not evaporate with their source columns.
+        """
+        if not self._edges:
+            return self
+        keep = frozenset(columns)
+        edges: List[OrderDependency] = []
+        for source, targets in self._closed().items():
+            if source not in keep:
+                continue
+            for target, flips in targets.items():
+                if target not in keep:
+                    continue
+                for flip in sorted(flips):
+                    edges.append(OrderDependency(source, target, flip))
+        if not edges:
+            return EMPTY_ODS
+        return ODSet(edges)
+
+    def translate(
+        self, mapping: Dict[ColumnRef, ColumnRef]
+    ) -> "ODSet":
+        """Rename endpoints through ``mapping``; edges touching columns
+        outside the mapping are dropped (a derived table hides them)."""
+        if not self._edges:
+            return self
+        translated = [
+            OrderDependency(
+                mapping[edge.source], mapping[edge.target], edge.flip
+            )
+            for edge in self._edges
+            if edge.source in mapping and edge.target in mapping
+        ]
+        if not translated:
+            return EMPTY_ODS
+        return ODSet(translated)
+
+    # -- closure queries -------------------------------------------------
+
+    def _closed(self) -> Dict[ColumnRef, Dict[ColumnRef, FrozenSet[bool]]]:
+        """Transitive closure: source -> target -> set of flips.
+
+        Composition XORs flips (ascending through a flipped edge comes
+        out descending; through two flipped edges, ascending again).
+        Built lazily once per ODSet, like the FDSet head index.
+        """
+        closed = self._closure
+        if closed is None:
+            adjacency: Dict[ColumnRef, List[OrderDependency]] = {}
+            for edge in self._edges:
+                adjacency.setdefault(edge.source, []).append(edge)
+            closed = {}
+            for start in adjacency:
+                reached: Dict[ColumnRef, Set[bool]] = {}
+                queue: List[Tuple[ColumnRef, bool]] = [(start, False)]
+                while queue:
+                    node, flip = queue.pop()
+                    for edge in adjacency.get(node, ()):
+                        combined = flip ^ edge.flip
+                        flips = reached.setdefault(edge.target, set())
+                        if combined not in flips:
+                            flips.add(combined)
+                            queue.append((edge.target, combined))
+                reached.pop(start, None)
+                closed[start] = {
+                    target: frozenset(flips)
+                    for target, flips in reached.items()
+                }
+            self._closure = closed
+        return closed
+
+    def flips(
+        self, source: ColumnRef, target: ColumnRef
+    ) -> FrozenSet[bool]:
+        """Flip values under which ``source |-> target`` holds
+        transitively; empty frozenset when it does not hold at all."""
+        if source == target:
+            return _SELF_FLIPS
+        return self._closed().get(source, _EMPTY_MAP).get(
+            target, _NO_FLIPS
+        )
+
+    def orders(
+        self, source: ColumnRef, target: ColumnRef, flip: bool
+    ) -> bool:
+        """Whether the closure contains ``source |-> target`` with
+        exactly this flip."""
+        return flip in self.flips(source, target)
+
+    def order_equivalent_flip(
+        self, first: ColumnRef, second: ColumnRef
+    ) -> Optional[bool]:
+        """If ``first`` and ``second`` mutually order each other with a
+        consistent flip, that flip; otherwise None.
+
+        Mutual edges whose flips disagree would compose to a flipped
+        self-edge (a column both ascending and descending along itself),
+        which only a constant satisfies — not a substitution basis.
+        """
+        forward = self.flips(first, second)
+        backward = self.flips(second, first)
+        for flip in (False, True):
+            if flip in forward and flip in backward:
+                return flip
+        return None
+
+    def implied_fds(self) -> Iterator[FunctionalDependency]:
+        """The ``{source} -> {target}`` FD each base edge carries.
+
+        Only base edges are yielded; the FD closure computes
+        transitivity itself.
+        """
+        for edge in self._edges:
+            yield FunctionalDependency(
+                frozenset((edge.source,)), frozenset((edge.target,))
+            )
+
+    def __iter__(self) -> Iterator[OrderDependency]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "; ".join(str(edge) for edge in self._edges)
+        return f"ODSet[{inner}]"
+
+
+_NO_FLIPS: FrozenSet[bool] = frozenset()
+_SELF_FLIPS: FrozenSet[bool] = frozenset((False,))
+_EMPTY_MAP: Dict[ColumnRef, FrozenSet[bool]] = {}
+
+EMPTY_ODS = ODSet()

@@ -17,6 +17,7 @@ from repro.expr.nodes import (
     ColumnRef,
     Comparison,
     ComparisonOp,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -45,12 +46,14 @@ from repro.expr.vector import (
     vector_value_kernel,
 )
 from repro.expr.analysis import (
+    MonotonicDependency,
     PredicateFacts,
     analyze_predicates,
     columns_of,
     conjuncts_of,
     is_column_constant_equality,
     is_column_equality,
+    monotonic_dependency,
 )
 
 __all__ = [
@@ -64,6 +67,7 @@ __all__ = [
     "ColumnRef",
     "Comparison",
     "ComparisonOp",
+    "DatePart",
     "Expression",
     "InList",
     "IsNull",
@@ -89,6 +93,8 @@ __all__ = [
     "compile_vector_filter",
     "vector_projection_kernel",
     "vector_value_kernel",
+    "MonotonicDependency",
+    "monotonic_dependency",
     "PredicateFacts",
     "analyze_predicates",
     "columns_of",

@@ -42,6 +42,7 @@ from repro.expr.nodes import (
     ColumnRef,
     Comparison,
     ComparisonOp,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -308,6 +309,22 @@ def _compile(expression: Expression, schema: RowSchema) -> RowFn:
         return _compile_in_list(expression, schema)
     if isinstance(expression, Arithmetic):
         return _compile_arithmetic(expression, schema)
+    if isinstance(expression, DatePart):
+        inner = _compile(expression.operand, schema)
+        part = expression.part
+
+        def date_part(row: Row) -> Any:
+            value = inner(row)
+            if value is None or value is NULL:
+                return None
+            try:
+                return getattr(value, part)
+            except AttributeError as exc:
+                raise ExpressionError(
+                    f"cannot extract {part} from {value!r}"
+                ) from exc
+
+        return date_part
     if isinstance(expression, CaseWhen):
         condition = _compile(expression.condition, schema)
         then_value = _compile(expression.then_value, schema)

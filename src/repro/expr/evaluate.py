@@ -16,6 +16,7 @@ from repro.expr.nodes import (
     ColumnRef,
     Comparison,
     ComparisonOp,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -55,6 +56,16 @@ def evaluate(
         return _evaluate_in_list(expression, schema, record)
     if isinstance(expression, Arithmetic):
         return _evaluate_arithmetic(expression, schema, record)
+    if isinstance(expression, DatePart):
+        value = evaluate(expression.operand, schema, record)
+        if is_null(value):
+            return None
+        try:
+            return getattr(value, expression.part)
+        except AttributeError as exc:
+            raise ExpressionError(
+                f"cannot extract {expression.part} from {value!r}"
+            ) from exc
     if isinstance(expression, CaseWhen):
         condition = evaluate(expression.condition, schema, record)
         branch = expression.then_value if condition else expression.else_value

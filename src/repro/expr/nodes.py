@@ -218,6 +218,29 @@ class Arithmetic(Expression):
 
 
 @dataclass(frozen=True)
+class DatePart(Expression):
+    """``year(d)`` / ``month(d)`` / ``day(d)`` extraction from a date.
+
+    ``year`` is monotonic (non-strictly) in its operand, which is what
+    makes it an order-dependency source; ``month`` and ``day`` are
+    periodic and contribute only the functional dependency.
+    """
+
+    part: str  # "year" | "month" | "day"
+    operand: Expression
+
+    def __post_init__(self):
+        if self.part not in ("year", "month", "day"):
+            raise ExpressionError(f"unknown date part {self.part!r}")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.part}({self.operand})"
+
+
+@dataclass(frozen=True)
 class CaseWhen(Expression):
     """``CASE WHEN cond THEN a ELSE b END`` (single-branch form)."""
 

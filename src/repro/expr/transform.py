@@ -13,6 +13,7 @@ from repro.expr.nodes import (
     CaseWhen,
     ColumnRef,
     Comparison,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -64,6 +65,8 @@ def _rebuild(
             transform(expression.left, visit),
             transform(expression.right, visit),
         )
+    if isinstance(expression, DatePart):
+        return DatePart(expression.part, transform(expression.operand, visit))
     if isinstance(expression, CaseWhen):
         return CaseWhen(
             transform(expression.condition, visit),

@@ -79,6 +79,7 @@ from repro.expr.nodes import (
     ColumnRef,
     Comparison,
     ComparisonOp,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -356,10 +357,13 @@ def _may_raise(expression: Expression) -> bool:
 
     Arithmetic raises on type errors / division by zero, CASE hides
     (and order-gates) raising arms, aggregates always raise per-row,
-    and parameters raise when unbound. Plain comparisons over typed
-    columns only raise on planning bugs, which both engines would hit.
+    parameters raise when unbound, and date-part extraction raises on
+    non-date operands. Plain comparisons over typed columns only raise
+    on planning bugs, which both engines would hit.
     """
-    if isinstance(expression, (Arithmetic, CaseWhen, Aggregate, Parameter)):
+    if isinstance(
+        expression, (Arithmetic, CaseWhen, Aggregate, Parameter, DatePart)
+    ):
         return True
     return any(_may_raise(child) for child in expression.children())
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.general import GeneralOrderSpec
+from repro.core.homogenize import homogenize_order
+from repro.core.od import EMPTY_ODS, ODSet
 from repro.core.ordering import OrderSpec
 from repro.expr.nodes import ColumnRef
 from repro.expr.schema import RowSchema
@@ -23,6 +25,7 @@ from repro.optimizer.helpers import (
 )
 from repro.optimizer.plan import OpKind, PlanNode
 from repro.optimizer.planner import PlannerContext
+from repro.properties.odharvest import harvest_expression_ods
 from repro.properties.propagate import (
     propagate_distinct,
     propagate_filter,
@@ -52,12 +55,22 @@ def finalize_plans(
             for variant in variants:
                 expanded.extend(_plan_distinct(planner, variant))
             variants = expanded
-        variants = [
-            _ensure_order_by(planner, variant) for variant in variants
-        ]
-        variants = [variant for variant in variants if variant is not None]
-        variants = [_final_projection(planner, variant) for variant in variants]
-        variants = [_apply_fetch_first(planner, variant) for variant in variants]
+        ordered: List[PlanNode] = []
+        for variant in variants:
+            ensured = _ensure_order_by(planner, variant)
+            if ensured is not None:
+                ordered.append(_final_projection(planner, ensured))
+                continue
+            # ORDER BY names computed outputs the pre-projection stream
+            # cannot provide (``val + 1 AS v ... ORDER BY v``): project
+            # first, sort the projected stream. With ODs on, the sort
+            # usually disappears above instead — an order-equivalent
+            # source column satisfies or substitutes for the target.
+            projected = _final_projection(planner, variant)
+            ensured = _ensure_order_by(planner, projected)
+            if ensured is not None:
+                ordered.append(ensured)
+        variants = [_apply_fetch_first(planner, variant) for variant in ordered]
         candidates.extend(variants)
     return candidates
 
@@ -353,13 +366,30 @@ def _ensure_order_by(
     if order_by.is_empty():
         return plan
     context = plan.properties.context()
+    if not planner.block_ods.is_empty():
+        # Block ODs relate current columns to computed outputs that only
+        # exist after the final projection (``val + 1 AS v``); folding
+        # them in lets the order test accept a ``val``-sorted stream for
+        # ``ORDER BY v`` — the projection preserves row order.
+        context = context.with_ods(planner.block_ods)
     if order_satisfies(planner.config, order_by, plan.order, context):
         return plan
     target = sort_columns_for(planner.config, order_by, context)
     if target.is_empty():
         return plan
     if not target.subset_columns(plan.properties.schema.columns):
-        return None
+        if planner.block_ods.is_empty():
+            return None
+        # ORDER BY names a computed output: re-express the sort on the
+        # pre-projection schema through order-equivalent ODs.
+        remapped = homogenize_order(
+            target, plan.properties.schema.columns, context
+        )
+        if remapped is None:
+            return None
+        if remapped.is_empty():
+            return plan
+        target = remapped
     return make_sort(planner, plan, target, "order by")
 
 
@@ -373,9 +403,11 @@ def _final_projection(
     expressions = [item.expression for item in block.select_items]
     outputs = [item.output for item in block.select_items]
     current = list(plan.properties.schema.columns)
-    if outputs == current and all(
-        isinstance(expression, ColumnRef) for expression in expressions
-    ):
+    if outputs == current:
+        # The stream already delivers exactly the output schema — a
+        # projection below (e.g. DISTINCT's) computed any derived
+        # items; re-projecting would re-evaluate their expressions
+        # against a schema that no longer has the source columns.
         return plan
     # Deduplicate output columns (SELECT a.x, a.x is legal SQL but our
     # schemas demand uniqueness; the executor re-expands on fetch).
@@ -395,10 +427,27 @@ def _final_projection(
     if simple:
         properties = propagate_project(plan.properties, unique_outputs)
     else:
+        # Computed outputs: keys/FDs/equivalences are conservatively
+        # dropped, but monotonic items carry order facts across. The
+        # harvested item ODs (``val |-> v``) both re-express the input
+        # order on the outputs and, projected onto the output schema,
+        # relate outputs to each other (``val + 1`` and ``val + 2``).
+        if planner.config.effective("use_order_dependencies"):
+            item_ods = harvest_expression_ods(
+                zip(unique_expressions, unique_outputs),
+                nullable=planner.column_nullable,
+            )
+        else:
+            item_ods = EMPTY_ODS
+        combined = plan.properties.ods.union(item_ods)
+        output_set = frozenset(unique_outputs)
         properties = StreamProperties(
             schema=schema,
-            order=_surviving_order(plan.properties.order, set(unique_outputs)),
+            order=_surviving_order(
+                plan.properties.order, output_set, combined
+            ),
             cardinality=plan.properties.cardinality,
+            ods=combined.projected(output_set),
         )
     cost = plan.cost + planner.cost_model.project_rows(
         plan.properties.cardinality
@@ -415,12 +464,53 @@ def _final_projection(
     )
 
 
-def _surviving_order(order: OrderSpec, columns) -> OrderSpec:
+def _surviving_order(
+    order: OrderSpec, columns, ods: ODSet = EMPTY_ODS
+) -> OrderSpec:
     from repro.core.ordering import OrderKey
 
     keys: List[OrderKey] = []
+    seen = set()
     for key in order:
-        if key.column not in columns:
-            break
-        keys.append(key)
+        if key.column in columns:
+            keys.append(key)
+            seen.add(key.column)
+            continue
+        # A projected-away sort column may live on through an
+        # order-equivalent output (``val + 1 AS v``). A duplicate
+        # target is skippable because order equivalence makes it
+        # constant within ties of the earlier key.
+        candidates = [
+            (target, flip)
+            for target in columns
+            for flip in (ods.order_equivalent_flip(key.column, target),)
+            if flip is not None
+        ]
+        if candidates:
+            chosen, flip = min(
+                candidates,
+                key=lambda pair: (pair[0].qualifier, pair[0].name),
+            )
+            if chosen in seen:
+                continue
+            replacement = key.with_column(chosen)
+            keys.append(replacement.reversed() if flip else replacement)
+            seen.add(chosen)
+            continue
+        # A one-way edge (``d |-> year(d)``) may stand in only as the
+        # *last* claimed key: ties of the coarse target span several
+        # source values, so nothing after it stays ordered.
+        one_way = [
+            (target, flip)
+            for target in columns
+            if target not in seen
+            for flip in sorted(ods.flips(key.column, target))
+        ]
+        if one_way:
+            chosen, flip = min(
+                one_way, key=lambda pair: (pair[0].qualifier, pair[0].name)
+            )
+            replacement = key.with_column(chosen)
+            keys.append(replacement.reversed() if flip else replacement)
+        break
     return OrderSpec(keys)

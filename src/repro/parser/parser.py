@@ -21,6 +21,7 @@ from repro.expr.nodes import (
     ColumnRef,
     Comparison,
     ComparisonOp,
+    DatePart,
     Expression,
     InList,
     IsNull,
@@ -553,6 +554,10 @@ class _Parser:
                         argument.line,
                         argument.column,
                     ) from None
+            if lowered in ("year", "month", "day"):
+                operand = self._parse_expression()
+                self._expect_punct(")")
+                return DatePart(lowered, operand)
             raise ParseError(
                 f"unknown function {name!r}", token.line, token.column
             )

@@ -1,0 +1,65 @@
+"""Order-dependency harvesting from derived expressions.
+
+An order dependency ``X |-> Y`` (Szlichta et al., beyond the SIGMOD '96
+paper) states that sorting a stream on X also sorts it on Y. The
+cheapest sound source of such facts is a *monotonic derived expression*
+in the select list: ``val + 1 AS v`` makes ``val`` and ``v`` order
+equivalent, ``year(d) AS y`` makes ``d |-> y`` one-directional.
+
+:func:`harvest_expression_ods` turns ``(expression, output column)``
+pairs — select items, projection lists — into an :class:`ODSet`. It is
+the single harvest point shared by the planner's optimistic context and
+the final-projection property derivation, so the monotonicity rules in
+:func:`repro.expr.analysis.monotonic_dependency` stay the one authority
+on what counts as order preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.core.od import EMPTY_ODS, ODSet, OrderDependency
+from repro.expr.analysis import monotonic_dependency
+from repro.expr.nodes import ColumnRef, Expression
+
+
+def harvest_expression_ods(
+    items: Iterable[Tuple[Expression, ColumnRef]],
+    nullable: Optional[Callable[[ColumnRef], bool]] = None,
+) -> ODSet:
+    """ODs implied by computed output columns.
+
+    Strictly monotone expressions yield an order *equivalence* (both
+    directions, one flip); non-strict ones (date-part extraction) yield
+    only the source-to-output edge — the coarse output cannot stand in
+    for the fine source. Bare column pass-throughs contribute nothing:
+    identity facts live in the equivalence classes, not the OD set.
+
+    ``nullable`` reports whether a source column can carry NULLs; when
+    absent every column is assumed nullable. A direction-*flipping*
+    dependency (``10 - col``) is only harvested from provably
+    non-nullable sources: NULLs sort after all values ascending but
+    before them descending, so a NULL source row sits at the wrong end
+    of the flipped order. Same-direction edges are NULL-safe — source
+    and image are NULL on exactly the same rows.
+    """
+    ods = EMPTY_ODS
+    for expression, output in items:
+        if isinstance(expression, ColumnRef):
+            continue
+        dependency = monotonic_dependency(expression)
+        if dependency is None or dependency.column == output:
+            continue
+        if dependency.flip and (
+            nullable is None or nullable(dependency.column)
+        ):
+            continue
+        if dependency.strict:
+            ods = ods.add_equivalence(
+                dependency.column, output, flip=dependency.flip
+            )
+        else:
+            ods = ods.add(
+                OrderDependency(dependency.column, output, dependency.flip)
+            )
+    return ods

@@ -108,6 +108,7 @@ def propagate_project(
             for predicate in properties.predicates
             if columns_of(predicate) <= column_set
         ),
+        ods=properties.ods.restrict(column_set),
     )
 
 
@@ -255,6 +256,7 @@ def _propagate_join_impl(
             outer.predicates | inner.predicates | frozenset(facts.conjuncts)
         ),
         cardinality=max(0.0, cardinality),
+        ods=outer.ods.union(inner.ods),
     )
     return replace(
         joined, key_property=joined.key_property.simplified(joined.context())
@@ -316,6 +318,7 @@ def rename_properties(
         ),
         predicates=frozenset(),
         cardinality=properties.cardinality,
+        ods=properties.ods.translate(mapping),
     )
 
 
@@ -379,6 +382,9 @@ def propagate_left_outer_join(
         constants=frozenset(preserved.constants),
         predicates=preserved.predicates,
         cardinality=max(preserved.cardinality, cardinality),
+        # NULL padding breaks null-side order facts; only the preserved
+        # side's ODs survive.
+        ods=preserved.ods,
     )
     return replace(
         joined, key_property=joined.key_property.simplified(joined.context())
@@ -451,6 +457,7 @@ def propagate_group_by(
             if columns_of(predicate) <= output_columns
         ),
         cardinality=max(0.0, cardinality),
+        ods=properties.ods.restrict(output_columns),
     )
     return replace(
         grouped, key_property=grouped.key_property.simplified(grouped.context())

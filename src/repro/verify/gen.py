@@ -22,12 +22,13 @@ keys as separate fields) rather than a SQL string so that
 
 from __future__ import annotations
 
+import datetime
 import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.catalog import Column, Index, TableSchema
-from repro.sqltypes import INTEGER, varchar
+from repro.sqltypes import DATE, INTEGER, varchar
 from repro.storage import Database
 
 
@@ -163,9 +164,19 @@ def generate_schema(seed: int, config: GenConfig = GenConfig()) -> SchemaSpec:
             Column("id", INTEGER, nullable=False),
             Column("grp", INTEGER),
             Column("val", INTEGER),
+            # NOT NULL date: fuzzed date-part extraction (year(r.d))
+            # exercises non-strict order dependencies.
+            Column("d", DATE, nullable=False),
         ],
         rows=[
-            (i, rng.choice(grp_choices), rng.randint(0, 50))
+            (
+                i,
+                rng.choice(grp_choices),
+                rng.randint(0, 50),
+                datetime.date(
+                    1992 + i % 7, 1 + (i * 5) % 12, 1 + (i * 3) % 28
+                ),
+            )
             for i in range(fact_rows)
         ],
         primary_key=("id",),
@@ -387,12 +398,22 @@ class QueryGenerator:
         tables: List[str] = [fact.name]
         outer_on: List[Tuple[str, str]] = []
         join_filters: List[str] = []
-        columns = [f"{fact.name}.id", f"{fact.name}.grp", f"{fact.name}.val"]
+        columns = [
+            f"{fact.name}.id",
+            f"{fact.name}.grp",
+            f"{fact.name}.val",
+            f"{fact.name}.d",
+        ]
         child = children[0] if children else None
         if shape in ("join", "outer", "triple"):
             tables.append(child.name)
             columns += [f"{child.name}.tag", f"{child.name}.amt"]
             join_condition = f"{fact.name}.id = {child.name}.rid"
+            if rng.random() < 0.15:
+                # Monotone-wrapped join key: same join semantics, but
+                # the planner sees an expression equality instead of a
+                # column equality.
+                join_condition = f"{fact.name}.id + 1 = {child.name}.rid + 1"
             if shape == "outer":
                 outer_on.append((child.name, join_condition))
             else:
@@ -488,7 +509,28 @@ class QueryGenerator:
             ]
             return group_by, [], aggregates, order_candidates
         chosen = rng.sample(columns, rng.randint(1, len(columns)))
-        return [], chosen, [], chosen
+        order_candidates = list(chosen)
+        if rng.random() < 0.35:
+            # Monotonic derived select item, orderable via its alias —
+            # exercises order-dependency harvesting and the
+            # post-projection sort fallback when ODs are off.
+            fact = self.schema.fact.name
+            derived = [
+                (f"{fact}.val + 3 as vplus", "vplus"),
+                (f"2 * {fact}.val as vdub", "vdub"),
+                # id is NOT NULL, so the direction-flipping edge is
+                # harvestable despite the NULL-ordering gate.
+                (f"30 - {fact}.id as idrev", "idrev"),
+                (f"year({fact}.d) as dy", "dy"),
+                (f"month({fact}.d) as dm", "dm"),
+            ]
+            if shape in ("join", "outer", "triple"):
+                child = self.schema.children()[0].name
+                derived.append((f"{child}.amt + 5 as aplus", "aplus"))
+            item, alias = rng.choice(derived)
+            chosen = chosen + [item]
+            order_candidates.append(alias)
+        return [], chosen, [], order_candidates
 
     def _generate_union(self) -> QuerySpec:
         rng = self.rng
@@ -521,9 +563,19 @@ class QueryGenerator:
                 f"from {child} group by rid)",
                 f"(select distinct tag, rid from {child})",
                 f"(select grp, max(val) as hi from {fact} group by grp)",
+                # Computed monotonic view columns: the first merges into
+                # the parent block, the second stays derived and lets
+                # the outer ORDER BY push through the view head.
+                f"(select rid, amt + 1 as a1 from {child})",
+                f"(select val + 1 as g2, count(*) as n2 "
+                f"from {fact} group by val)",
             ]
         )
-        if "as n" in view:
+        if "g2" in view:
+            columns = ["v.g2", "v.n2"]
+        elif "a1" in view:
+            columns = ["v.rid", "v.a1"]
+        elif "as n" in view:
             columns = ["v.rid", "v.n", "v.total"]
         elif "tag" in view:
             columns = ["v.tag", "v.rid"]

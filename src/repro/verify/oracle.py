@@ -27,7 +27,7 @@ the same convention as the reference and the executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api import execute, plan_query, run_query
 from repro.core.ordering import SortDirection
@@ -50,15 +50,17 @@ from repro.verify.reference import reference_query
 # Config matrices
 # ----------------------------------------------------------------------
 
-_MATRIX_FEATURES = ("red", "cov", "sa", "hash")
+_MATRIX_FEATURES = ("red", "cov", "sa", "hash", "od")
 
 
 def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
-    """Every combination of reduction/cover/sort-ahead/hash-operators
-    (16 configs), plus the paper's master-switch-off baseline."""
+    """Every combination of reduction/cover/sort-ahead/hash-operators/
+    order-dependencies (32 configs), plus the paper's master-switch-off
+    baseline."""
     configs: Dict[str, OptimizerConfig] = {}
-    for bits in range(16):
-        red, cov, sa, hash_ops = (
+    for bits in range(32):
+        red, cov, sa, hash_ops, od = (
+            bool(bits & 16),
             bool(bits & 8),
             bool(bits & 4),
             bool(bits & 2),
@@ -67,7 +69,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
         name = "".join(
             flag if on else flag.upper()
             for flag, on in zip(
-                _MATRIX_FEATURES, (red, cov, sa, hash_ops)
+                _MATRIX_FEATURES, (red, cov, sa, hash_ops, od)
             )
         )
         configs[name] = OptimizerConfig(
@@ -76,6 +78,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
             enable_sort_ahead=sa,
             enable_hash_join=hash_ops,
             enable_hash_group_by=hash_ops,
+            use_order_dependencies=od,
         )
     if include_disabled:
         configs["disabled"] = OptimizerConfig.disabled()
@@ -83,7 +86,8 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
 
 
 def tier1_matrix() -> Dict[str, OptimizerConfig]:
-    """The four historical fuzz configs — the cheap tier-1 subset."""
+    """The historical fuzz configs plus the OD-off build — the cheap
+    tier-1 subset."""
     return {
         "full": OptimizerConfig(),
         "disabled": OptimizerConfig.disabled(),
@@ -91,6 +95,7 @@ def tier1_matrix() -> Dict[str, OptimizerConfig]:
             enable_hash_join=False, enable_hash_group_by=False
         ),
         "no-sortahead": OptimizerConfig(enable_sort_ahead=False),
+        "no-od": OptimizerConfig(use_order_dependencies=False),
     }
 
 
@@ -385,6 +390,32 @@ def audit_node(database: Database, node: PlanNode) -> List[str]:
                 f"constant {column} not constant at {node.describe()}"
             )
 
+    for dependency in properties.ods:
+        # OD axiom on real rows: grouped by source value, the target is
+        # single-valued (the implied FD), and walking groups in source
+        # order the target markers never decrease (never increase for a
+        # flipped edge — checked through the descending sort key).
+        if dependency.source not in schema or dependency.target not in schema:
+            continue
+        source_position = schema.position(dependency.source)
+        target_position = schema.position(dependency.target)
+        groups: Dict[Any, set] = {}
+        for row in rows:
+            groups.setdefault(
+                sort_key(row[source_position]), set()
+            ).add(sort_key(row[target_position], dependency.flip))
+        sequence = sorted(groups.items())
+        violated = any(len(markers) > 1 for _key, markers in sequence)
+        if not violated:
+            flattened = [
+                next(iter(markers)) for _key, markers in sequence
+            ]
+            violated = flattened != sorted(flattened)
+        if violated:
+            violations.append(
+                f"OD {dependency} violated at {node.describe()}"
+            )
+
     if not properties.order.is_empty():
         plan_keys = [
             (
@@ -426,6 +457,10 @@ AUDIT_QUERIES = (
     "select d.k, f.v from d left join f on d.k = f.k order by d.k",
     "select k, grp from d order by k desc",
     "select d.grp, count(*) as n from d group by d.grp order by n desc, d.grp",
+    # Order-dependency coverage: the claimed ODs (k |-> k2, grp |-> g2)
+    # and the orders they license get checked on real rows.
+    "select k, k + 1 as k2 from d order by k2",
+    "select grp, 2 * grp as g2, name from d order by grp desc, g2 desc",
 )
 
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.optimizer import OptimizerConfig
-from repro.sqltypes.types import VarcharType
+from repro.sqltypes.types import DateType, VarcharType
 from repro.verify.gen import QuerySpec, SchemaSpec
 from repro.verify.oracle import Mismatch, check_query, full_matrix
 
@@ -45,8 +45,10 @@ class ShrinkResult:
         used = _used_tables(self.schema, self.spec)
         lines = [
             f"def {name}():",
+            "    import datetime",
+            "",
             "    from repro import Column, Database, Index, TableSchema",
-            "    from repro.sqltypes import INTEGER, varchar",
+            "    from repro.sqltypes import DATE, INTEGER, varchar",
             "    from repro.verify.oracle import check_query, full_matrix",
             "",
             "    db = Database()",
@@ -84,6 +86,8 @@ class ShrinkResult:
 def _render_column(column) -> str:
     if isinstance(column.datatype, VarcharType):
         datatype = f"varchar({column.datatype.max_length})"
+    elif isinstance(column.datatype, DateType):
+        datatype = "DATE"
     else:
         datatype = "INTEGER"
     nullable = "" if column.nullable else ", nullable=False"

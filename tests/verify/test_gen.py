@@ -14,8 +14,15 @@ from repro.verify.gen import GenConfig, QueryGenerator, generate_schema
 # sha256 of the first 50 seed-7 queries joined by newlines (see
 # corpus() below). Changing the generator changes this — update it
 # deliberately, never to silence a failure you don't understand.
+#
+# Last deliberate update: the fact table gained a NOT NULL date column
+# and the generator now emits monotonic derived select items
+# (``val + 3 AS vplus``, ``year(d) AS dy``, ...) orderable by alias,
+# monotone-wrapped join keys (``r.id + 1 = s.rid + 1``), and derived
+# views with computed monotonic columns — so fuzzing exercises
+# order-dependency harvesting, not just plain column orders.
 SEED7_CORPUS_SHA256 = (
-    "793e85cef34bdbf33c1dbfed3a52108aaaf243327d6e26b34a40cbf9cc648905"
+    "5bf07270033423a36cbb16b100b77a243253cb83fedfe2b6069a51f15e32b7b8"
 )
 
 

@@ -34,18 +34,19 @@ def tiny_db():
 
 def test_full_matrix_covers_all_toggle_combinations():
     configs = full_matrix()
-    assert len(configs) == 17  # 2^4 feature combos + master-off baseline
+    assert len(configs) == 33  # 2^5 feature combos + master-off baseline
     combos = {
         (
             c.enable_reduction,
             c.enable_cover,
             c.enable_sort_ahead,
             c.enable_hash_join,
+            c.use_order_dependencies,
         )
         for name, c in configs.items()
         if name != "disabled"
     }
-    assert len(combos) == 16
+    assert len(combos) == 32
     assert not configs["disabled"].order_optimization
     for config in configs.values():
         assert config.enable_hash_join == config.enable_hash_group_by
@@ -57,6 +58,7 @@ def test_tier1_matrix_matches_historical_configs():
         "disabled",
         "no-hash",
         "no-sortahead",
+        "no-od",
     }
 
 
@@ -110,8 +112,34 @@ def test_audit_battery_green():
     assert run_audit_battery() == []
 
 
+def test_audit_catches_lying_order_dependency():
+    """Negative control: a node *claiming* a false OD must be flagged.
+
+    ``x |-> y`` is false in tiny_db (y is not monotone in x), so an
+    audit that stays green on this claim would verify nothing.
+    """
+    from dataclasses import replace
+
+    from repro.api import plan_query
+    from repro.core.od import ODSet, OrderDependency
+    from repro.expr import col
+    from repro.verify.oracle import audit_node
+
+    db = tiny_db()
+    plan = plan_query(db, "select x, y from t order by x")
+    root = plan.root
+    lying = ODSet([OrderDependency(col("t", "x"), col("t", "y"), False)])
+    poisoned = replace(
+        root, properties=replace(root.properties, ods=lying)
+    )
+    violations = audit_node(db, poisoned)
+    assert any("OD" in violation for violation in violations), violations
+    # The honest node stays clean.
+    assert audit_node(db, root) == []
+
+
 def test_small_fuzz_run_green():
     report = run_fuzz(seed=99, n=10, configs=tier1_matrix())
     assert report.ok, report.summary()
     assert report.queries == 10
-    assert report.executions == 40
+    assert report.executions == 50
