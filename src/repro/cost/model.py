@@ -182,6 +182,69 @@ class CostModel:
             io = 2.0 * passes * max(1.0, row_pages) * self.SEQ_PAGE_MS
         return Cost(io, compare + rows * self.CPU_ROW_MS)
 
+    def partial_sort(
+        self,
+        rows: float,
+        groups: float,
+        sort_columns: int,
+        row_pages: float,
+    ) -> Cost:
+        """Segmented sort of prefix-groups: ``n * log(n/k)`` comparisons.
+
+        The input arrives sorted on a prefix of the target, so each of
+        the ``groups`` runs of equal prefix values is sorted
+        independently on the remaining ``sort_columns`` suffix keys.
+        Boundary detection costs one prefix comparison per row. Spill
+        only happens when a *single group* overflows sort memory.
+        """
+        rows = max(1.0, rows)
+        groups = max(1.0, min(groups, rows))
+        group_rows = rows / groups
+        compare = (
+            rows
+            * math.log2(group_rows + 1.0)
+            * self.CPU_COMPARE_MS
+            * max(1, sort_columns)
+        )
+        compare += rows * self.CPU_COMPARE_MS  # group-boundary detection
+        io = 0.0
+        if group_rows > self.sort_memory_rows:
+            passes = max(
+                1,
+                math.ceil(
+                    math.log(group_rows / self.sort_memory_rows, 8) + 1e-9
+                ),
+            )
+            io = 2.0 * passes * max(1.0, row_pages) * self.SEQ_PAGE_MS
+        return Cost(io, compare + rows * self.CPU_ROW_MS)
+
+    def partial_sort_limited(
+        self,
+        rows: float,
+        groups: float,
+        sort_columns: int,
+        count: int,
+    ) -> Cost:
+        """Partial sort under a LIMIT: early exit after enough groups.
+
+        Only ``ceil(count / group_rows)`` groups need to be consumed
+        before the limit is met, and within a group a bounded heap caps
+        the comparison depth at ``log(min(group_rows, count))``.
+        """
+        rows = max(1.0, rows)
+        groups = max(1.0, min(groups, rows))
+        group_rows = rows / groups
+        needed_groups = math.ceil(max(1, count) / group_rows)
+        effective_rows = min(rows, needed_groups * group_rows)
+        compare = (
+            effective_rows
+            * math.log2(min(group_rows, count) + 1.0)
+            * self.CPU_COMPARE_MS
+            * max(1, sort_columns)
+        )
+        compare += effective_rows * self.CPU_COMPARE_MS
+        return Cost(0.0, compare + effective_rows * self.CPU_ROW_MS * 0.25)
+
     def top_n_sort(self, rows: float, sort_columns: int, count: int) -> Cost:
         """Bounded top-n sort: every input row is inspected, but the
         comparison depth is log(k) and nothing spills."""

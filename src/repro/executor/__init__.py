@@ -32,6 +32,7 @@ from repro.executor.operators import (
     IndexScanOp,
     LimitOp,
     MaterializeOp,
+    PartialSortOp,
     PhysicalOperator,
     ProjectOp,
     SortOp,
@@ -66,6 +67,7 @@ __all__ = [
     "FilterOp",
     "ProjectOp",
     "SortOp",
+    "PartialSortOp",
     "LimitOp",
     "TopNSortOp",
     "MaterializeOp",

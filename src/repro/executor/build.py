@@ -35,6 +35,7 @@ from repro.executor.joins import (
 from repro.executor.operators import (
     FilterOp,
     IndexScanOp,
+    PartialSortOp,
     PhysicalOperator,
     ProjectOp,
     SortOp,
@@ -103,6 +104,13 @@ def build_operator(
         )
     if kind is OpKind.SORT:
         return SortOp(children[0], args["order"])
+    if kind is OpKind.PARTIAL_SORT:
+        return PartialSortOp(
+            children[0],
+            args["order"],
+            args["prefix"],
+            limit=args.get("limit"),
+        )
     if kind is OpKind.NLJ:
         return NestedLoopJoinOp(
             children[0],

@@ -162,6 +162,11 @@ class OperatorMetrics:
     # Vector engine: how many blocks this operator collapsed back into
     # row tuples (the late-materialization points).
     materializations: int = 0
+    # Sort operators: rows this operator sorted, prefix-groups it
+    # flushed (partial sort only), and simulated spill pages it charged.
+    sorted_rows: int = 0
+    groups: int = 0
+    spill_pages: int = 0
 
     def render(self) -> str:
         text = (
@@ -172,6 +177,12 @@ class OperatorMetrics:
             text += f" sel={self.rows / self.rows_in:.4f}"
         if self.materializations > 0:
             text += f" mat={self.materializations}"
+        if self.sorted_rows > 0:
+            text += f" sorted={self.sorted_rows}"
+        if self.groups > 0:
+            text += f" groups={self.groups}"
+        if self.spill_pages > 0:
+            text += f" spill={self.spill_pages}p"
         return text
 
 
@@ -204,6 +215,7 @@ class ExecutionContext:
     sort_memory_rows: int = 100_000
     spill_pages: int = 0
     rows_sorted: int = 0
+    rows_partial_sorted: int = 0
     rows_hashed: int = 0
     batch_size: int = BATCH_SIZE_AUTO
     mode: str = field(default_factory=default_exec_mode)
@@ -234,11 +246,17 @@ class ExecutionContext:
             self.metrics[operator] = entry
         return entry
 
-    def charge_spill(self, rows: int, rows_per_page: int = 64) -> None:
-        """Record spill I/O for an operator overflowing memory."""
+    def charge_spill(self, rows: int, rows_per_page: int = 64) -> int:
+        """Record spill I/O for an operator overflowing memory.
+
+        Returns the pages charged (write + read passes) so operators can
+        also attribute the spill to their own metrics.
+        """
         pages = max(1, rows // max(1, rows_per_page))
         # One write pass + one read pass.
-        self.spill_pages += 2 * pages
+        charged = 2 * pages
+        self.spill_pages += charged
+        return charged
 
     def simulated_io_ms(self) -> float:
         """Total modelled I/O time: buffer pool misses + spills."""

@@ -21,6 +21,8 @@ rows in identical order.
 
 from __future__ import annotations
 
+import bisect
+import heapq
 import operator as operator_module
 import time
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -570,8 +572,7 @@ class SortOp(PhysicalOperator):
         return (self.child,)
 
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
-        import heapq
-
+        metrics = context.metrics_for(self)
         keys_of = _batch_keys(context, self.schema, self.order)
         memory_rows = max(1, context.sort_memory_rows)
         size = context.batch_size
@@ -599,9 +600,16 @@ class SortOp(PhysicalOperator):
                 if len(buffered) >= memory_rows:
                     buffered.sort()
                     runs.append(buffered)
-                    context.charge_spill(len(buffered))
+                    metrics.spill_pages += context.charge_spill(
+                        len(buffered)
+                    )
                     buffered = []
         context.rows_sorted += sequence
+        metrics.sorted_rows += sequence
+        COUNTERS["exec.sorts"] = COUNTERS.get("exec.sorts", 0) + 1
+        COUNTERS["exec.rows_sorted"] = (
+            COUNTERS.get("exec.rows_sorted", 0) + sequence
+        )
         if not runs:
             buffered.sort()
             # Slice the decorated buffer directly — no full-length
@@ -614,12 +622,212 @@ class SortOp(PhysicalOperator):
         if buffered:
             buffered.sort()
             runs.append(buffered)
-            context.charge_spill(len(buffered))
+            metrics.spill_pages += context.charge_spill(len(buffered))
         merged = heapq.merge(*runs)
         yield from chunked((row for _key, _seq, row in merged), size)
 
     def label(self) -> str:
         return f"sort {self.order}"
+
+
+class PartialSortOp(PhysicalOperator):
+    """Segmented sort: input already ordered on a prefix of the target.
+
+    The child's delivered order satisfies ``order.prefix(prefix_length)``
+    (the optimizer proved it via the order algebra — possibly through
+    FDs/ODs/constants, not just a literal column match), so rows with
+    equal prefix sort-keys arrive contiguously. Only one prefix-group is
+    buffered at a time; each group is sorted on the suffix keys and
+    streamed out, which makes the operator incremental and bounds memory
+    by the largest group, not the input.
+
+    The ``CancelToken`` is polled at every group boundary: a single pull
+    may consume many input groups without yielding (tiny groups smaller
+    than a batch), so the universal ``batches()`` checkpoint alone is
+    not enough. A group exceeding ``sort_memory_rows`` falls back to
+    per-group spill runs merged with ``heapq.merge``.
+
+    Byte-identity invariant: because groups arrive in prefix-sorted
+    order and the per-group sort is stable on the suffix (decorated
+    ``(suffix_key, sequence, row)`` entries), the output is identical to
+    a full stable sort of the whole input on ``order`` — across all
+    three engines and against ``SortOp`` itself.
+
+    With ``limit`` set (a FETCH FIRST above), each group only needs its
+    ``limit`` smallest rows — later rows of the group can never be in
+    the query result because whole earlier groups precede them.
+    """
+
+    vector_capable = True
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        order: OrderSpec,
+        prefix_length: int,
+        limit: Optional[int] = None,
+    ):
+        super().__init__(child.schema)
+        if order.is_empty():
+            raise ExecutionError("partial sort needs a non-empty order")
+        if not 0 < prefix_length < len(order):
+            raise ExecutionError(
+                "partial sort prefix must be a non-empty proper prefix "
+                f"(got {prefix_length} of {len(order)} keys)"
+            )
+        if limit is not None and limit < 1:
+            raise ExecutionError("partial sort limit must be positive")
+        self.child = child
+        self.order = order
+        self.prefix_length = prefix_length
+        self.prefix = order.prefix(prefix_length)
+        self.suffix = OrderSpec(list(order)[prefix_length:])
+        self.limit = limit
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
+        if context.vectorized:
+            yield from self._materialized_batches(context)
+            return
+        yield from chunked(
+            self._sorted_rows(context, self._row_entries(context)),
+            context.batch_size,
+        )
+
+    def _vector_batches(
+        self, context: ExecutionContext
+    ) -> Iterator[VectorBatch]:
+        for batch in chunked(
+            self._sorted_rows(context, self._block_entries(context)),
+            context.batch_size,
+        ):
+            yield RowBlock(batch)
+
+    def _row_entries(
+        self, context: ExecutionContext
+    ) -> Iterator[Tuple[Tuple[Any, ...], Tuple[Any, ...], Row]]:
+        """(prefix key, suffix key, row) per input row (row protocol)."""
+        prefix_keys_of = _batch_keys(context, self.schema, self.prefix)
+        suffix_keys_of = _batch_keys(context, self.schema, self.suffix)
+        for batch in self.child.batches(context):
+            yield from zip(
+                prefix_keys_of(batch), suffix_keys_of(batch), batch
+            )
+
+    def _block_entries(
+        self, context: ExecutionContext
+    ) -> Iterator[Tuple[Tuple[Any, ...], Tuple[Any, ...], Row]]:
+        """Entries from vector blocks: keys gathered column-wise over the
+        live selection, rows materialized in the same selection order."""
+        prefix_plan = sort_key_plan(self.schema, self.prefix)
+        suffix_plan = sort_key_plan(self.schema, self.suffix)
+        for block in self.child.vector_batches(context):
+            if not block.count:
+                continue
+            selection = block.live()
+            prefix_columns = [
+                [
+                    sort_key(value, descending)
+                    for value in block.gather(position, selection)
+                ]
+                for position, descending in prefix_plan
+            ]
+            suffix_columns = [
+                [
+                    sort_key(value, descending)
+                    for value in block.gather(position, selection)
+                ]
+                for position, descending in suffix_plan
+            ]
+            rows = block.materialize()
+            yield from zip(
+                zip(*prefix_columns), zip(*suffix_columns), rows
+            )
+
+    def _sorted_rows(
+        self,
+        context: ExecutionContext,
+        entries: Iterator[Tuple[Tuple[Any, ...], Tuple[Any, ...], Row]],
+    ) -> Iterator[Row]:
+        metrics = context.metrics_for(self)
+        token = context.cancel_token
+        memory_rows = max(1, context.sort_memory_rows)
+        marker: Any = _NO_GROUP
+        group: List[Tuple[Tuple[Any, ...], int, Row]] = []
+        runs: List[List[Tuple[Tuple[Any, ...], int, Row]]] = []
+        sequence = 0
+        for prefix_key, suffix_key, row in entries:
+            if prefix_key != marker:
+                if marker is not _NO_GROUP:
+                    yield from self._flush(context, metrics, group, runs)
+                    group = []
+                    runs = []
+                    # Group boundary: one pull can span many groups
+                    # without yielding a batch, so poll here too.
+                    if token is not None:
+                        token.check()
+                marker = prefix_key
+            group.append((suffix_key, sequence, row))
+            sequence += 1
+            if len(group) >= memory_rows:
+                group.sort()
+                runs.append(group)
+                metrics.spill_pages += context.charge_spill(len(group))
+                group = []
+        if marker is not _NO_GROUP:
+            yield from self._flush(context, metrics, group, runs)
+        context.rows_partial_sorted += sequence
+        metrics.sorted_rows += sequence
+        COUNTERS["exec.partial_sorts"] = (
+            COUNTERS.get("exec.partial_sorts", 0) + 1
+        )
+        COUNTERS["exec.rows_partial_sorted"] = (
+            COUNTERS.get("exec.rows_partial_sorted", 0) + sequence
+        )
+
+    def _flush(
+        self,
+        context: ExecutionContext,
+        metrics,
+        group: List[Tuple[Tuple[Any, ...], int, Row]],
+        runs: List[List[Tuple[Tuple[Any, ...], int, Row]]],
+    ) -> Iterator[Row]:
+        """Sort and emit one prefix-group (spill-merging if it overflowed)."""
+        metrics.groups += 1
+        if runs:
+            if group:
+                group.sort()
+                runs.append(group)
+                metrics.spill_pages += context.charge_spill(len(group))
+            emitted = 0
+            for _key, _seq, row in heapq.merge(*runs):
+                yield row
+                emitted += 1
+                if self.limit is not None and emitted >= self.limit:
+                    break
+            return
+        if self.limit is not None and len(group) > self.limit:
+            # Bounded heap: (key, sequence) pairs are unique, so
+            # nsmallest is deterministic and equals sorted()[:limit].
+            for _key, _seq, row in heapq.nsmallest(self.limit, group):
+                yield row
+            return
+        group.sort()
+        for _key, _seq, row in group:
+            yield row
+
+    def label(self) -> str:
+        text = f"partial sort {self.order} (prefix {self.prefix_length})"
+        if self.limit is not None:
+            text += f" limit {self.limit}"
+        return text
+
+
+# Sentinel marking "no group open yet" in PartialSortOp (None is a
+# legal sort-key, so it cannot serve as the marker).
+_NO_GROUP = object()
 
 
 class LimitOp(PhysicalOperator):
@@ -688,8 +896,7 @@ class TopNSortOp(PhysicalOperator):
         return (self.child,)
 
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
-        import bisect
-
+        metrics = context.metrics_for(self)
         keys_of = _batch_keys(context, self.schema, self.order)
         count = self.count
         buffer: List[Tuple[Any, int, Row]] = []  # (key, tie, row), ascending
@@ -705,6 +912,11 @@ class TopNSortOp(PhysicalOperator):
                     bisect.insort(buffer, entry)
                     buffer.pop()
         context.rows_sorted += tie
+        metrics.sorted_rows += tie
+        COUNTERS["exec.sorts"] = COUNTERS.get("exec.sorts", 0) + 1
+        COUNTERS["exec.rows_sorted"] = (
+            COUNTERS.get("exec.rows_sorted", 0) + tie
+        )
         size = context.batch_size
         for start in range(0, len(buffer), size):
             yield [entry[2] for entry in buffer[start : start + size]]

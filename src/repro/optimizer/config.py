@@ -29,6 +29,13 @@ class OptimizerConfig:
     # honest 1996 baseline — the core algebra itself is config-free and
     # simply sees an empty ODSet when harvesting is off.
     use_order_dependencies: bool = True
+    # Prefix-aware partial sort (beyond the paper): when the delivered
+    # order already satisfies a proper prefix of a sort target, enforce
+    # the rest with a segmented per-group sort instead of a full
+    # external sort, and steer merge-join key sequences toward reusing
+    # delivered prefixes (shared sort segments). Off under
+    # ``disabled()`` via the master switch.
+    enable_partial_sort: bool = True
 
     enable_merge_join: bool = True
     enable_hash_join: bool = True

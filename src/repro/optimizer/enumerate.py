@@ -20,7 +20,11 @@ from repro.core.reduce import reduce_order
 from repro.errors import OptimizerError
 from repro.expr.analysis import columns_of, is_column_equality
 from repro.expr.nodes import BooleanExpr, BooleanOp, ColumnRef, Expression
-from repro.optimizer.helpers import order_satisfies, sort_columns_for
+from repro.optimizer.helpers import (
+    order_satisfies,
+    satisfied_prefix_length,
+    sort_columns_for,
+)
 from repro.optimizer.plan import OpKind, PlanNode
 from repro.optimizer.planner import PlannerContext, access_paths
 from repro.properties.propagate import propagate_join, propagate_sort
@@ -549,62 +553,107 @@ def _merge_joins(
     then feeds both the merge join and the downstream consumer.
     """
     config = planner.config
-    outer_keys = [o for o, _i, _p in pairs]
-    inner_keys = [i for _o, i, _p in pairs]
-    outer_required = OrderSpec.of(*outer_keys)
-    inner_required = OrderSpec.of(*inner_keys)
     predicates = [predicate for _o, _i, predicate in pairs] + list(residual)
 
-    sorted_inner = _ensure_order(planner, inner_plan, inner_required, "merge-join")
-    if sorted_inner is None:
-        return []
-    outer_variants: List[PlanNode] = []
-    primary = _ensure_order(planner, outer_plan, outer_required, "merge-join")
-    if primary is not None:
-        outer_variants.append(primary)
-    if (
-        config.effective("enable_cover")
-        and primary is not None
-        and primary is not outer_plan  # a sort was needed anyway
-    ):
-        outer_variants.extend(
-            _covered_merge_sorts(planner, outer_plan, outer_required)
-        )
-    if not outer_variants:
-        return []
+    # Equi-pairs are an unordered set; any key sequence yields a valid
+    # merge join. Shared sort segments: also try the sequence that leads
+    # with the outer's delivered order, so the outer's enforcement sort
+    # degrades to a partial sort reusing the earlier sort's prefix.
+    sequences = [list(pairs)]
+    if config.effective("enable_partial_sort"):
+        aligned = _segment_aligned_pairs(outer_plan, pairs)
+        if aligned is not None:
+            sequences.append(aligned)
 
     results: List[PlanNode] = []
-    for sorted_outer in outer_variants:
-        properties = propagate_join(
-            sorted_outer.properties,
-            sorted_inner.properties,
-            predicates,
-            output_rows,
-            preserves_outer_order=True,
+    for sequence in sequences:
+        outer_keys = [o for o, _i, _p in sequence]
+        inner_keys = [i for _o, i, _p in sequence]
+        outer_required = OrderSpec.of(*outer_keys)
+        inner_required = OrderSpec.of(*inner_keys)
+
+        sorted_inner = _ensure_order(
+            planner, inner_plan, inner_required, "merge-join"
         )
-        cost = (
-            sorted_outer.cost
-            + sorted_inner.cost
-            + planner.cost_model.merge_join(
-                sorted_outer.properties.cardinality,
-                sorted_inner.properties.cardinality,
+        if sorted_inner is None:
+            continue
+        outer_variants: List[PlanNode] = []
+        primary = _ensure_order(
+            planner, outer_plan, outer_required, "merge-join"
+        )
+        if primary is not None:
+            outer_variants.append(primary)
+        if (
+            config.effective("enable_cover")
+            and primary is not None
+            and primary is not outer_plan  # a sort was needed anyway
+        ):
+            outer_variants.extend(
+                _covered_merge_sorts(planner, outer_plan, outer_required)
+            )
+
+        for sorted_outer in outer_variants:
+            properties = propagate_join(
+                sorted_outer.properties,
+                sorted_inner.properties,
+                predicates,
                 output_rows,
+                preserves_outer_order=True,
             )
-        )
-        results.append(
-            PlanNode(
-                OpKind.MERGE_JOIN,
-                (sorted_outer, sorted_inner),
-                properties,
-                cost,
-                {
-                    "outer_keys": outer_keys,
-                    "inner_keys": inner_keys,
-                    "residual": _and_all(list(residual)),
-                },
+            cost = (
+                sorted_outer.cost
+                + sorted_inner.cost
+                + planner.cost_model.merge_join(
+                    sorted_outer.properties.cardinality,
+                    sorted_inner.properties.cardinality,
+                    output_rows,
+                )
             )
-        )
+            results.append(
+                PlanNode(
+                    OpKind.MERGE_JOIN,
+                    (sorted_outer, sorted_inner),
+                    properties,
+                    cost,
+                    {
+                        "outer_keys": outer_keys,
+                        "inner_keys": inner_keys,
+                        "residual": _and_all(list(residual)),
+                    },
+                )
+            )
     return results
+
+
+def _segment_aligned_pairs(
+    outer_plan: PlanNode,
+    pairs: Sequence[Tuple[ColumnRef, ColumnRef, Expression]],
+) -> Optional[List[Tuple[ColumnRef, ColumnRef, Expression]]]:
+    """Reorder equi-pairs so the outer's delivered order leads.
+
+    Walks the outer's order property, pulling forward each pair whose
+    outer column matches the next delivered key; remaining pairs keep
+    their original relative order. Returns None when the walk changes
+    nothing (first delivered key matches no pair, or the order is
+    already aligned).
+    """
+    by_outer = {}
+    for pair in pairs:
+        by_outer.setdefault(pair[0], pair)
+    leading: List[Tuple[ColumnRef, ColumnRef, Expression]] = []
+    used = set()
+    for key in outer_plan.order:
+        pair = by_outer.get(key.column)
+        if pair is None or id(pair) in used:
+            break
+        leading.append(pair)
+        used.add(id(pair))
+    if not leading:
+        return None
+    aligned = leading + [pair for pair in pairs if id(pair) not in used]
+    if aligned == list(pairs):
+        return None
+    return aligned
 
 
 def _covered_merge_sorts(
@@ -660,8 +709,41 @@ def make_sort(
     order: OrderSpec,
     reason: str,
 ) -> PlanNode:
+    """Enforce ``order`` on ``plan`` — the single sort construction site.
+
+    With ``enable_partial_sort`` on, a delivered order satisfying a
+    proper prefix of the target turns the enforcement into a segmented
+    partial sort: only the suffix keys are sorted, one prefix-group at
+    a time.
+    """
     properties = propagate_sort(plan.properties, order)
     rows = plan.properties.cardinality
+    if planner.config.effective("enable_partial_sort"):
+        prefix_length = satisfied_prefix_length(
+            planner.config, order, plan.order, plan.properties.context()
+        )
+        if prefix_length:
+            groups = _distinct_prefix_groups(
+                planner, order.prefix(prefix_length), rows
+            )
+            cost = plan.cost + planner.cost_model.partial_sort(
+                rows,
+                groups,
+                len(order) - prefix_length,
+                planner.pages_for(rows),
+            )
+            return PlanNode(
+                OpKind.PARTIAL_SORT,
+                (plan,),
+                properties,
+                cost,
+                {
+                    "order": order,
+                    "prefix": prefix_length,
+                    "groups": groups,
+                    "reason": reason,
+                },
+            )
     cost = plan.cost + planner.cost_model.sort(
         rows, len(order), planner.pages_for(rows)
     )
@@ -672,6 +754,17 @@ def make_sort(
         cost,
         {"order": order, "reason": reason},
     )
+
+
+def _distinct_prefix_groups(
+    planner: PlannerContext, prefix: OrderSpec, rows: float
+) -> float:
+    """Estimated distinct prefix-value count: NDV product, capped."""
+    groups = 1.0
+    for key in prefix:
+        stats = planner.stats_view.column_stats(key.column)
+        groups *= float(stats.ndv) if stats is not None else 10.0
+    return max(1.0, min(groups, max(1.0, rows)))
 
 
 def _index_nlj_joins(

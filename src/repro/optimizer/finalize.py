@@ -140,6 +140,31 @@ def _rewrite_topmost_sort_to_topn(
             cost,
             {"order": order, "count": count},
         )
+    if (
+        plan.kind is OpKind.PARTIAL_SORT
+        and plan.args.get("reason") == "order by"
+        and plan.args.get("limit") is None
+    ):
+        # Groups stream out in target order, so the partial sort can
+        # stop after enough groups and bound each group's heap: cheaper
+        # than converting to a full top-n sort (which would re-sort the
+        # prefix the input already delivers).
+        child = plan.children[0]
+        rows = child.properties.cardinality
+        order = plan.args["order"]
+        cost = child.cost + planner.cost_model.partial_sort_limited(
+            rows,
+            plan.args["groups"],
+            len(order) - plan.args["prefix"],
+            count,
+        )
+        return PlanNode(
+            OpKind.PARTIAL_SORT,
+            (child,),
+            plan.properties,
+            cost,
+            dict(plan.args, limit=count),
+        )
     if plan.kind is OpKind.PROJECT:
         rewritten = _rewrite_topmost_sort_to_topn(
             planner, plan.children[0], count

@@ -40,6 +40,25 @@ def sort_columns_for(
     return interesting
 
 
+def satisfied_prefix_length(
+    config: OptimizerConfig,
+    target: OrderSpec,
+    order_property: OrderSpec,
+    context: OrderContext,
+) -> int:
+    """Longest *proper* prefix of ``target`` already satisfied.
+
+    Capped at ``len(target) - 1`` so a nonzero result always leaves a
+    suffix to enforce — callers that see the whole target satisfied
+    should not be sorting at all. FDs/ODs/constants in ``context`` can
+    lengthen the usable prefix beyond a literal column match.
+    """
+    for length in range(len(target) - 1, 0, -1):
+        if order_satisfies(config, target.prefix(length), order_property, context):
+            return length
+    return 0
+
+
 def general_satisfies(
     config: OptimizerConfig,
     general: GeneralOrderSpec,

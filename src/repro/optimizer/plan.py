@@ -26,6 +26,7 @@ class OpKind(enum.Enum):
     FILTER = "filter"
     PROJECT = "project"
     SORT = "sort"
+    PARTIAL_SORT = "partial sort"
     NLJ = "nested-loop join"
     NLJ_INDEX = "nested-loop join (index)"
     MERGE_JOIN = "merge-join"
@@ -85,6 +86,16 @@ class PlanNode:
             reason = self.args.get("reason")
             suffix = f" [{reason}]" if reason else ""
             return f"{kind} {self.args['order']}{suffix}"
+        if self.kind is OpKind.PARTIAL_SORT:
+            reason = self.args.get("reason")
+            suffix = f" [{reason}]" if reason else ""
+            limit = self.args.get("limit")
+            if limit is not None:
+                suffix = f" limit {limit}{suffix}"
+            return (
+                f"{kind} {self.args['order']} "
+                f"(prefix {self.args['prefix']}){suffix}"
+            )
         if self.kind is OpKind.FILTER:
             return f"{kind} [{self.args['predicate']}]"
         if self.kind is OpKind.NLJ_INDEX:
@@ -149,6 +160,9 @@ class PlanNode:
     def sort_count(self) -> int:
         return len(self.find_all(OpKind.SORT))
 
+    def partial_sort_count(self) -> int:
+        return len(self.find_all(OpKind.PARTIAL_SORT))
+
 
 @dataclass
 class Plan:
@@ -166,6 +180,9 @@ class Plan:
 
     def sort_count(self) -> int:
         return self.root.sort_count()
+
+    def partial_sort_count(self) -> int:
+        return self.root.partial_sort_count()
 
     def find_all(self, kind: OpKind) -> List[PlanNode]:
         return self.root.find_all(kind)

@@ -50,16 +50,17 @@ from repro.verify.reference import reference_query
 # Config matrices
 # ----------------------------------------------------------------------
 
-_MATRIX_FEATURES = ("red", "cov", "sa", "hash", "od")
+_MATRIX_FEATURES = ("red", "cov", "sa", "hash", "od", "ps")
 
 
 def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
     """Every combination of reduction/cover/sort-ahead/hash-operators/
-    order-dependencies (32 configs), plus the paper's master-switch-off
-    baseline."""
+    order-dependencies/partial-sort (64 configs), plus the paper's
+    master-switch-off baseline."""
     configs: Dict[str, OptimizerConfig] = {}
-    for bits in range(32):
-        red, cov, sa, hash_ops, od = (
+    for bits in range(64):
+        red, cov, sa, hash_ops, od, ps = (
+            bool(bits & 32),
             bool(bits & 16),
             bool(bits & 8),
             bool(bits & 4),
@@ -69,7 +70,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
         name = "".join(
             flag if on else flag.upper()
             for flag, on in zip(
-                _MATRIX_FEATURES, (red, cov, sa, hash_ops, od)
+                _MATRIX_FEATURES, (red, cov, sa, hash_ops, od, ps)
             )
         )
         configs[name] = OptimizerConfig(
@@ -79,6 +80,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
             enable_hash_join=hash_ops,
             enable_hash_group_by=hash_ops,
             use_order_dependencies=od,
+            enable_partial_sort=ps,
         )
     if include_disabled:
         configs["disabled"] = OptimizerConfig.disabled()
@@ -86,8 +88,8 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
 
 
 def tier1_matrix() -> Dict[str, OptimizerConfig]:
-    """The historical fuzz configs plus the OD-off build — the cheap
-    tier-1 subset."""
+    """The historical fuzz configs plus the OD-off and partial-sort-off
+    builds — the cheap tier-1 subset."""
     return {
         "full": OptimizerConfig(),
         "disabled": OptimizerConfig.disabled(),
@@ -96,6 +98,7 @@ def tier1_matrix() -> Dict[str, OptimizerConfig]:
         ),
         "no-sortahead": OptimizerConfig(enable_sort_ahead=False),
         "no-od": OptimizerConfig(use_order_dependencies=False),
+        "no-partial-sort": OptimizerConfig(enable_partial_sort=False),
     }
 
 
