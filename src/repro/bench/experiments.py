@@ -9,17 +9,24 @@ appear, and roughly what the on/off ratio is.
 
 from __future__ import annotations
 
+import datetime
 import time
 from typing import Dict, List, Tuple
 
-from repro.catalog import Column, Index, TableSchema
+from repro.catalog import Column, Index, TableSchema, hash_spec, range_spec
 from repro.optimizer import OptimizerConfig
 from repro.storage import Database
 from repro.api import execute, plan_query, run_query
 from repro.bench.harness import ExperimentReport, experiment
 from repro.optimizer.plan import OpKind
 from repro.sqltypes import INTEGER
-from repro.tpcd import QUERY_3, build_tpcd_database
+from repro.tpcd import (
+    QUERY_3,
+    TpcdGenerator,
+    build_tpcd_database,
+    tpcd_indexes,
+    tpcd_schema,
+)
 
 DEFAULT_SCALE = 0.02
 DEFAULT_RUNS = 5
@@ -41,6 +48,8 @@ def db2_faithful_config(order_optimization: bool = True) -> OptimizerConfig:
     # 1996 DB2 had no segmented-sort operator either; keeping it off
     # also keeps the figure/table plan shapes (full sorts) stable.
     config.enable_partial_sort = False
+    # Nor a parallel/partitioned repertoire: no exchange operators.
+    config.enable_partitioning = False
     return config
 
 
@@ -1628,6 +1637,311 @@ def order_enforcement(
         "10-group row: 12k-row groups overflow the 4096-row sort memory, "
         "so the partial sort spills per group and converges toward the "
         "full sort — the win comes from groups that fit"
+    )
+    report.data["json"] = payload
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Extension: partition-parallel plans (partitioned storage + exchanges)
+# ---------------------------------------------------------------------------
+
+# The ISSUE pins this experiment at TPC-D scale factor >= 0.1; smaller
+# --sf values are clamped up so the recorded speedups always come from
+# a non-toy table (150k orders / ~600k lineitems).
+_PARALLEL_SCALE_FLOOR = 0.1
+_PARALLEL_TPCD_CACHE: Dict[float, Database] = {}
+
+# Four roughly equal date bands over the generated 1992..1998 span.
+_ORDERS_DATE_BOUNDARIES = (
+    datetime.date(1993, 7, 1),
+    datetime.date(1995, 1, 1),
+    datetime.date(1996, 7, 1),
+)
+
+
+def partitioned_tpcd_database(scale_factor: float) -> Database:
+    """TPC-D under the partitioned physical design.
+
+    ``orders`` is range-partitioned on ``o_orderdate`` (four date
+    bands) and bulk-loaded in date order, so the *local*
+    ``idx_o_orderdate`` is physically clustered and each partition
+    scan delivers date order for free — ``pk_orders`` consequently
+    loses its clustered flag. ``lineitem`` is hash-partitioned on
+    ``l_orderkey``; routing preserves per-partition arrival order, so
+    the clustered ``l_orderkey`` index stays physically true inside
+    every partition. All other tables keep the warehouse layout.
+    """
+    if scale_factor not in _PARALLEL_TPCD_CACHE:
+        generator = TpcdGenerator(scale_factor)
+        schemas = tpcd_schema()
+        for table, spec in (
+            (
+                "orders",
+                range_spec(["o_orderdate"], list(_ORDERS_DATE_BOUNDARIES)),
+            ),
+            ("lineitem", hash_spec(["l_orderkey"], 4)),
+        ):
+            plain = schemas[table]
+            schemas[table] = TableSchema(
+                plain.name,
+                plain.columns,
+                primary_key=plain.primary_key,
+                unique_keys=plain.unique_keys,
+                partitioning=spec,
+            )
+        database = Database(4096)
+        database.create_table(schemas["region"], generator.region_rows())
+        database.create_table(schemas["nation"], generator.nation_rows())
+        database.create_table(schemas["supplier"], generator.supplier_rows())
+        database.create_table(schemas["customer"], generator.customer_rows())
+        database.create_table(schemas["part"], generator.part_rows())
+        database.create_table(schemas["partsupp"], generator.partsupp_rows())
+        orders, lineitems = generator.order_and_lineitem_rows()
+        orders.sort(key=lambda row: (row[4], row[0]))  # physical date order
+        database.create_table(schemas["orders"], orders)
+        database.create_table(schemas["lineitem"], lineitems)
+        for index in tpcd_indexes():
+            if index.name == "pk_orders":
+                index = Index.on(
+                    "pk_orders", "orders", ["o_orderkey"], unique=True
+                )
+            elif index.name == "idx_o_orderdate":
+                index = Index.on(
+                    "idx_o_orderdate", "orders", ["o_orderdate"],
+                    clustered=True,
+                )
+            database.create_index(index)
+        database.reset_io(cold=True)
+        _PARALLEL_TPCD_CACHE[scale_factor] = database
+    return _PARALLEL_TPCD_CACHE[scale_factor]
+
+
+_PARALLEL_CASES = (
+    (
+        "pruned_scan",
+        "date-band aggregate",
+        # The predicate covers exactly the third date band: the
+        # partitioned build prunes to one partition whose clustered
+        # local index also delivers the GROUP BY/ORDER BY date order.
+        "select o_orderdate, count(*) as n, sum(o_totalprice) as revenue "
+        "from orders "
+        "where o_orderdate >= date('1995-01-01') "
+        "and o_orderdate < date('1996-07-01') "
+        "group by o_orderdate order by o_orderdate",
+    ),
+    (
+        "merge_order",
+        "order by o_orderdate",
+        # The pinned acceptance query: a merge exchange over four local
+        # clustered index scans replaces the 150k-row full sort.
+        "select o_orderkey, o_orderdate from orders order by o_orderdate",
+    ),
+    (
+        "colocated_group",
+        "group by l_orderkey",
+        # Grouping on the hash-partitioning column: complete
+        # per-partition aggregation below the gather, no combine stage.
+        "select l_orderkey, count(*) as n, sum(l_quantity) as quantity "
+        "from lineitem group by l_orderkey",
+    ),
+)
+
+_PARALLEL_KINDS = (
+    OpKind.PARTITION_SCAN,
+    OpKind.GATHER_EXCHANGE,
+    OpKind.MERGE_EXCHANGE,
+    OpKind.PARTITION_SPLIT,
+)
+
+
+def _partitions_touched(plan) -> List[int]:
+    touched = set()
+    for node in plan.find_all(OpKind.PARTITION_SCAN):
+        touched.update(node.args["partitions"])
+    for node in plan.find_all(OpKind.INDEX_SCAN):
+        if "partition" in node.args:
+            touched.add(node.args["partition"])
+    return sorted(touched)
+
+
+def _group_operator_count(plan) -> int:
+    return len(plan.find_all(OpKind.GROUP_HASH)) + len(
+        plan.find_all(OpKind.GROUP_SORTED)
+    )
+
+
+@experiment(
+    "parallel_ops",
+    "Extension: partition-parallel plans vs single-stream on TPC-D",
+)
+def parallel_ops(
+    scale_factor: float = _PARALLEL_SCALE_FLOOR,
+    runs: int = DEFAULT_RUNS,
+    **_ignored,
+) -> ExperimentReport:
+    """Partitioned vs single-stream plans on the same partitioned store.
+
+    Three TPC-D queries run under the default build
+    (``enable_partitioning`` on) and under ``enable_partitioning=False``
+    on the *same* partitioned database, byte-comparing rows each time:
+
+    * ``pruned_scan`` — a date-band aggregate whose predicate selects
+      exactly one range partition; pruning must cut simulated I/O.
+    * ``merge_order`` — ORDER BY on the range-partitioning column; the
+      merge exchange over clustered local index scans must report
+      ``sort_count() == 0`` while the single-stream plan pays a full
+      sort (asserted, both ways).
+    * ``colocated_group`` — GROUP BY on the hash-partitioning column;
+      aggregation pushes below the gather, one operator per partition.
+
+    The recorded speedups are simulated I/O and estimated plan cost
+    (the cost model divides per-stream CPU across workers). Wall clock
+    is reported too but is *not* the claim: partition workers are
+    Python threads sharing the GIL, so CPU-bound stages do not speed
+    up in wall time here.
+    """
+    scale_factor = max(float(scale_factor), _PARALLEL_SCALE_FLOOR)
+    timing_runs = max(1, min(runs, 3))
+    database = partitioned_tpcd_database(scale_factor)
+    partitioned_config = OptimizerConfig()
+    single_config = OptimizerConfig(enable_partitioning=False)
+
+    report = ExperimentReport(
+        "parallel_ops",
+        f"TPC-D sf {scale_factor}: partitioned plans vs single-stream "
+        f"on the same partitioned store, mean of {timing_runs}",
+        headers=(
+            "case",
+            "part wall (ms)",
+            "single wall (ms)",
+            "sim I/O ms (part/single)",
+            "sorts (part/single)",
+            "est. cost speedup",
+        ),
+    )
+    payload: Dict[str, object] = {
+        "experiment": "parallel_ops",
+        "scale_factor": scale_factor,
+        "runs": timing_runs,
+        "orders_rows": database.store("orders").heap.row_count,
+        "lineitem_rows": database.store("lineitem").heap.row_count,
+        "orders_partitions": len(_ORDERS_DATE_BOUNDARIES) + 1,
+        "lineitem_partitions": 4,
+        "cases": [],
+    }
+
+    for case_id, label, sql in _PARALLEL_CASES:
+        on_wall, on_sim, on = _timed_runs(
+            database, sql, partitioned_config, timing_runs
+        )
+        off_wall, off_sim, off = _timed_runs(
+            database, sql, single_config, timing_runs
+        )
+        if " order by" in sql:
+            rows_match = on.rows == off.rows
+        else:
+            rows_match = sorted(on.rows) == sorted(off.rows)
+        if not rows_match:
+            raise AssertionError(f"{case_id}: partitioned plan changed rows")
+        for kind in _PARALLEL_KINDS:
+            if off.plan.find_all(kind):
+                raise AssertionError(
+                    f"{case_id}: {kind} leaked into the single-stream plan"
+                )
+        on_cost = on.plan.cost.total_ms
+        off_cost = off.plan.cost.total_ms
+        if on_cost > off_cost:
+            # The single-stream space is a subset of the partitioned
+            # search space, so the chosen plan can never cost more.
+            raise AssertionError(
+                f"{case_id}: partitioned plan estimated dearer "
+                f"({on_cost:.2f} vs {off_cost:.2f})"
+            )
+        case: Dict[str, object] = {
+            "id": case_id,
+            "sql": sql,
+            "rows": len(on.rows),
+            "partitioned": {
+                "wall_seconds": on_wall,
+                "simulated_ms": on_sim,
+                "estimated_cost_ms": on_cost,
+                "full_sorts": on.plan.sort_count(),
+                "partial_sorts": on.plan.partial_sort_count(),
+                "merge_exchanges": len(
+                    on.plan.find_all(OpKind.MERGE_EXCHANGE)
+                ),
+                "gather_exchanges": len(
+                    on.plan.find_all(OpKind.GATHER_EXCHANGE)
+                ),
+                "partitions_touched": _partitions_touched(on.plan),
+                "group_operators": _group_operator_count(on.plan),
+            },
+            "single_stream": {
+                "wall_seconds": off_wall,
+                "simulated_ms": off_sim,
+                "estimated_cost_ms": off_cost,
+                "full_sorts": off.plan.sort_count(),
+                "partial_sorts": off.plan.partial_sort_count(),
+                "group_operators": _group_operator_count(off.plan),
+            },
+            "wall_speedup": (off_wall / on_wall) if on_wall else None,
+            "simulated_io_speedup": (off_sim / on_sim) if on_sim else None,
+            "estimated_cost_speedup": (off_cost / on_cost)
+            if on_cost
+            else None,
+        }
+        payload["cases"].append(case)
+        report.add_row(
+            label,
+            f"{on_wall * 1000:.1f}",
+            f"{off_wall * 1000:.1f}",
+            f"{on_sim:.1f}/{off_sim:.1f}",
+            f"{on.plan.sort_count()}/{off.plan.sort_count()}",
+            f"{(off_cost / on_cost):.2f}x" if on_cost else "-",
+        )
+
+        if case_id == "pruned_scan":
+            touched = case["partitioned"]["partitions_touched"]
+            if len(touched) >= 4:
+                raise AssertionError(
+                    f"pruned_scan touched every partition: {touched}"
+                )
+            if not on_sim < off_sim:
+                raise AssertionError(
+                    "pruning did not cut simulated I/O: "
+                    f"{on_sim:.1f} vs {off_sim:.1f}"
+                )
+        elif case_id == "merge_order":
+            # The acceptance pin, asserted in both directions.
+            if not on.plan.find_all(OpKind.MERGE_EXCHANGE):
+                raise AssertionError(
+                    "merge_order lost its merge exchange:\n"
+                    + on.plan.explain()
+                )
+            if on.plan.sort_count() != 0:
+                raise AssertionError(
+                    "merge exchange failed to eliminate the sort"
+                )
+            if off.plan.sort_count() < 1:
+                raise AssertionError(
+                    "single-stream plan avoided the sort it must pay"
+                )
+        elif case_id == "colocated_group":
+            pushed = case["partitioned"]["group_operators"]
+            if pushed != 4:
+                raise AssertionError(
+                    f"expected 4 per-partition group operators, saw {pushed}"
+                )
+
+    report.add_note(
+        "byte-compared: partitioned vs single-stream rows per case "
+        "(ordered queries compared in order)"
+    )
+    report.add_note(
+        "speedups are simulated I/O and estimated cost; wall clock is "
+        "reported honestly but partition workers share the GIL, so "
+        "CPU-bound stages show no wall-time win in this engine"
     )
     report.data["json"] = payload
     return report

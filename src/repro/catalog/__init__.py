@@ -6,6 +6,7 @@ indexes (whose key order becomes an order property of index scans).
 """
 
 from repro.catalog.column import Column
+from repro.catalog.partition import PartitionSpec, hash_spec, range_spec
 from repro.catalog.stats import ColumnStats, Histogram, TableStats
 from repro.catalog.table import TableSchema
 from repro.catalog.index import Index, IndexColumn
@@ -20,4 +21,7 @@ __all__ = [
     "Index",
     "IndexColumn",
     "Catalog",
+    "PartitionSpec",
+    "hash_spec",
+    "range_spec",
 ]

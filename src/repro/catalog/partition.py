@@ -1,0 +1,171 @@
+"""Partition specifications: how a table's rows divide into partitions.
+
+A :class:`PartitionSpec` declares either **hash** partitioning (rows
+route by a stable hash of the partition columns modulo the partition
+count) or **range** partitioning (``boundaries`` are upper-*exclusive*
+edges over the partition columns' sort-key images; ``n`` boundaries make
+``n + 1`` partitions, in boundary order). The spec lives on the
+:class:`~repro.catalog.table.TableSchema` and is consulted by storage
+(row routing, partition pruning) and by the optimizer (the partitioning
+stream property).
+
+Hashing must be stable across processes — Python's built-in ``hash`` is
+salted per interpreter for strings — so routing uses CRC-32 over the
+canonical ``sort_key`` encodings. Determinism matters: tests pin page
+counts and plan shapes that depend on which partition each row landed
+in.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.sqltypes import sort_key
+
+HASH = "hash"
+RANGE = "range"
+
+
+def _stable_hash(values: Sequence[Any]) -> int:
+    """Process-independent hash of a tuple of column values."""
+    encoded = repr(tuple(sort_key(value) for value in values))
+    return zlib.crc32(encoded.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Declared partitioning of a base table.
+
+    Attributes:
+        kind: ``"hash"`` or ``"range"``.
+        columns: partition-key column names (must exist in the table).
+        partitions: partition count (hash only; range derives it from
+            the boundary list).
+        boundaries: range only — strictly increasing upper-exclusive
+            edges; a row goes to the first partition whose boundary its
+            key sorts below, or to the last partition. Each boundary is
+            one value when there is a single partition column, else a
+            tuple of values.
+    """
+
+    kind: str
+    columns: Tuple[str, ...]
+    partitions: int = 0
+    boundaries: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "boundaries", tuple(self.boundaries))
+        if self.kind not in (HASH, RANGE):
+            raise CatalogError(f"unknown partitioning kind {self.kind!r}")
+        if not self.columns:
+            raise CatalogError("partitioning needs at least one column")
+        if self.kind == HASH:
+            if self.partitions < 2:
+                raise CatalogError("hash partitioning needs >= 2 partitions")
+            if self.boundaries:
+                raise CatalogError("hash partitioning takes no boundaries")
+        else:
+            if not self.boundaries:
+                raise CatalogError("range partitioning needs boundaries")
+            encoded = [self._boundary_key(b) for b in self.boundaries]
+            if any(
+                encoded[i] >= encoded[i + 1] for i in range(len(encoded) - 1)
+            ):
+                raise CatalogError(
+                    "range partition boundaries must be strictly increasing"
+                )
+            object.__setattr__(self, "partitions", len(self.boundaries) + 1)
+
+    def _boundary_key(self, boundary: Any) -> Tuple[Any, ...]:
+        values = (
+            boundary if isinstance(boundary, tuple) else (boundary,)
+        )
+        if len(values) != len(self.columns):
+            raise CatalogError(
+                f"boundary {boundary!r} arity != partition columns "
+                f"{self.columns}"
+            )
+        return tuple(sort_key(value) for value in values)
+
+    @property
+    def partition_count(self) -> int:
+        return self.partitions
+
+    def route(self, values: Sequence[Any]) -> int:
+        """Partition index for one row's partition-column values."""
+        if self.kind == HASH:
+            return _stable_hash(values) % self.partitions
+        key = tuple(sort_key(value) for value in values)
+        # Linear walk: boundary lists are tiny (a handful of edges).
+        for index, boundary in enumerate(self.boundaries):
+            if key < self._boundary_key(boundary):
+                return index
+        return self.partitions - 1
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def prune_equal(self, values: Sequence[Any]) -> Tuple[int, ...]:
+        """Partitions that can hold rows with the partition key equal to
+        ``values`` (always exactly one)."""
+        return (self.route(values),)
+
+    def prune_range(
+        self, low: Any, high: Any, high_inclusive: bool = True
+    ) -> Tuple[int, ...]:
+        """Range kind only: partitions intersecting ``[low, high]`` on
+        the *leading* partition column (None bounds are open ends).
+
+        An exclusive ``high`` that lands exactly on a boundary drops the
+        partition that boundary opens (its rows all sort >= ``high``).
+        Conservative for multi-column specs: only the leading column is
+        compared, which can keep a boundary partition that a full-tuple
+        comparison would drop — never the reverse.
+        """
+        if self.kind != RANGE:
+            return tuple(range(self.partitions))
+        first = 0
+        last = self.partitions - 1
+        if low is not None:
+            low_key = sort_key(low)
+            while first < last and self._leading_edge(first) <= low_key:
+                first += 1
+        if high is not None:
+            high_key = sort_key(high)
+            index = 0
+            while index < last and (
+                self._leading_edge(index) <= high_key
+                if high_inclusive
+                else self._leading_edge(index) < high_key
+            ):
+                index += 1
+            last = index
+        if first > last:
+            return ()
+        return tuple(range(first, last + 1))
+
+    def _leading_edge(self, index: int) -> Any:
+        """Sort-key image of partition ``index``'s upper edge, leading
+        column only."""
+        boundary = self.boundaries[index]
+        value = boundary[0] if isinstance(boundary, tuple) else boundary
+        return sort_key(value)
+
+    def describe(self) -> str:
+        inner = ", ".join(self.columns)
+        return f"{self.kind}({inner}) x{self.partitions}"
+
+
+def hash_spec(columns: Sequence[str], partitions: int) -> PartitionSpec:
+    return PartitionSpec(HASH, tuple(columns), partitions=partitions)
+
+
+def range_spec(
+    columns: Sequence[str], boundaries: Sequence[Any]
+) -> PartitionSpec:
+    return PartitionSpec(RANGE, tuple(columns), boundaries=tuple(boundaries))

@@ -151,6 +151,11 @@ class TableStats:
     row_count: int = 0
     columns: Dict[str, ColumnStats] = field(default_factory=dict)
     pages: int = 1
+    # Row-level reservoir sample (whole tuples, in ``sample_columns``
+    # order): the basis for *joint* NDV estimation over column groups,
+    # which per-column NDVs cannot provide when columns correlate.
+    sample_columns: Sequence[str] = ()
+    sample_rows: Sequence[Sequence[Any]] = ()
 
     SAMPLE_SIZE = 2000
     HISTOGRAM_BUCKETS = 32
@@ -169,9 +174,20 @@ class TableStats:
         distinct: Dict[str, set] = {name: set() for name in column_names}
         samples: Dict[str, List[Any]] = {name: [] for name in column_names}
         reservoir_rng = random.Random(0xC0FFEE)
-        stats = cls(columns={name: ColumnStats() for name in column_names})
+        row_rng = random.Random(0xBEEF)
+        row_sample: List[Tuple[Any, ...]] = []
+        stats = cls(
+            columns={name: ColumnStats() for name in column_names},
+            sample_columns=tuple(column_names),
+        )
         for row in rows:
             stats.row_count += 1
+            if len(row_sample) < cls.SAMPLE_SIZE:
+                row_sample.append(tuple(row))
+            else:
+                slot = row_rng.randrange(stats.row_count)
+                if slot < cls.SAMPLE_SIZE:
+                    row_sample[slot] = tuple(row)
             for name, value in zip(column_names, row):
                 column = stats.columns[name]
                 if is_null(value):
@@ -196,7 +212,52 @@ class TableStats:
                     samples[name], cls.HISTOGRAM_BUCKETS
                 )
         stats.pages = max(1, (stats.row_count + page_rows - 1) // page_rows)
+        stats.sample_rows = tuple(row_sample)
         return stats
+
+    def joint_ndv(self, column_names: Sequence[str]) -> Optional[float]:
+        """Estimated distinct count of the *tuple* of ``column_names``.
+
+        Counts distinct combinations in the row sample; when the sample
+        is the whole table the count is exact, otherwise it scales up
+        linearly. Either way the estimate is capped by the per-column
+        NDV product (which is itself an upper bound) and the row count,
+        so it can only tighten the naive independence estimate —
+        correlated prefixes (e.g. nation -> region) stop multiplying.
+        Returns ``None`` when no sample exists or a column is unknown.
+        """
+        if not self.sample_rows or not column_names:
+            return None
+        positions = []
+        for name in column_names:
+            try:
+                positions.append(self.sample_columns.index(name))
+            except ValueError:
+                return None
+        from collections import Counter
+
+        frequency = Counter(
+            tuple(row[position] for position in positions)
+            for row in self.sample_rows
+        )
+        distinct = len(frequency)
+        size = len(self.sample_rows)
+        if size >= self.row_count:
+            estimate = float(distinct)
+        else:
+            # Chao's estimator: singletons signal unseen combinations,
+            # repeated combinations signal a saturated domain. Linear
+            # scale-up would turn 100 values seen 20x each into "there
+            # must be more"; this does not.
+            singletons = sum(1 for count in frequency.values() if count == 1)
+            doubletons = sum(1 for count in frequency.values() if count == 2)
+            estimate = distinct + (singletons * singletons) / (
+                2.0 * max(1, doubletons)
+            )
+        cap = 1.0
+        for name in column_names:
+            cap *= float(max(1, self.column(name).ndv))
+        return max(1.0, min(estimate, cap, float(max(1, self.row_count))))
 
     def column(self, name: str) -> ColumnStats:
         return self.columns.get(name, ColumnStats(ndv=max(1, self.row_count)))

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.column import Column
+from repro.catalog.partition import PartitionSpec
 from repro.catalog.stats import TableStats
 from repro.errors import CatalogError
 
@@ -23,6 +24,7 @@ class TableSchema:
         columns: Sequence[Column],
         primary_key: Sequence[str] = (),
         unique_keys: Sequence[Sequence[str]] = (),
+        partitioning: Optional[PartitionSpec] = None,
     ):
         if not columns:
             raise CatalogError(f"table {name} needs at least one column")
@@ -44,6 +46,13 @@ class TableSchema:
                 if column_name not in self._by_name:
                     raise CatalogError(
                         f"key column {column_name} not in table {name}"
+                    )
+        self.partitioning = partitioning
+        if partitioning is not None:
+            for column_name in partitioning.columns:
+                if column_name not in self._by_name:
+                    raise CatalogError(
+                        f"partition column {column_name} not in table {name}"
                     )
         self.stats = TableStats()
 

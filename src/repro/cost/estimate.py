@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from repro.catalog import ColumnStats, TableSchema
 from repro.expr.analysis import conjuncts_of
@@ -43,6 +43,23 @@ class StatsView:
     def row_count(self, alias: str) -> int:
         table = self._tables.get(alias)
         return table.stats.row_count if table is not None else 0
+
+    def joint_ndv(self, columns: Sequence[ColumnRef]) -> Optional[float]:
+        """Joint distinct-combination estimate for a column set.
+
+        Answers only when every column resolves to the *same* base
+        table (the row sample is per-table); the caller falls back to
+        the independence product otherwise.
+        """
+        qualifiers = {column.qualifier for column in columns}
+        if len(qualifiers) != 1:
+            return None
+        table = self._tables.get(next(iter(qualifiers)))
+        if table is None:
+            return None
+        return table.stats.joint_ndv(
+            [column.name for column in columns]
+        )
 
     def aliases(self) -> Iterable[str]:
         return self._tables.keys()

@@ -304,3 +304,38 @@ class CostModel:
 
     def project_rows(self, rows: float) -> Cost:
         return Cost(0.0, rows * self.CPU_ROW_MS * 0.25)
+
+    # ------------------------------------------------------------------
+    # Parallelism: exchanges and per-partition work
+    # ------------------------------------------------------------------
+
+    # Modeled workers draining partition streams concurrently. CPU on a
+    # parallel subtree divides by min(streams, PARALLEL_WORKERS); I/O
+    # never does — the simulated disk is one device.
+    PARALLEL_WORKERS = 4
+    # Per-row transfer cost through an exchange's queues.
+    EXCHANGE_ROW_MS = 0.0005
+
+    def parallel_input(self, cost: Cost, streams: int) -> Cost:
+        """Cost of a subtree when its partitions run on the worker pool:
+        CPU shrinks by the effective parallelism, I/O stays serial."""
+        workers = max(1, min(streams, self.PARALLEL_WORKERS))
+        return Cost(cost.io_ms, cost.cpu_ms / workers)
+
+    def exchange_gather(self, rows: float, streams: int) -> Cost:
+        """Unordered gather: move every row through a queue."""
+        return Cost(0.0, max(0.0, rows) * self.EXCHANGE_ROW_MS)
+
+    def exchange_merge(self, rows: float, streams: int) -> Cost:
+        """Order-preserving k-way merge: transfer plus a log2(k)-deep
+        heap comparison per row."""
+        rows = max(0.0, rows)
+        depth = math.log2(max(2, streams))
+        cpu = rows * (self.EXCHANGE_ROW_MS + depth * self.CPU_COMPARE_MS)
+        return Cost(0.0, cpu)
+
+    def repartition(self, rows: float, streams: int) -> Cost:
+        """Hash repartition: hash each row and move it to its bucket."""
+        rows = max(0.0, rows)
+        cpu = rows * (self.CPU_HASH_MS + self.EXCHANGE_ROW_MS)
+        return Cost(0.0, cpu)

@@ -52,7 +52,12 @@ def _plan_tables(
 ) -> None:
     """Collect alias -> TableSchema for every base-table access in the
     plan, feeding filter-term selectivity estimation."""
-    if node.kind in (OpKind.TABLE_SCAN, OpKind.INDEX_SCAN, OpKind.NLJ_INDEX):
+    if node.kind in (
+        OpKind.TABLE_SCAN,
+        OpKind.INDEX_SCAN,
+        OpKind.NLJ_INDEX,
+        OpKind.PARTITION_SCAN,
+    ):
         alias = node.args.get("alias")
         name = node.args.get("table")
         if alias is not None and name is not None:
@@ -65,18 +70,41 @@ def build_operator(
     node: PlanNode,
     database: Database,
     estimator: Optional[SelectivityEstimator] = None,
+    _split_cache: Optional[Dict[int, object]] = None,
 ) -> PhysicalOperator:
     """Recursively build the physical operator for one plan node.
 
     ``estimator`` (optional) supplies catalog-stats selectivities that
     seed the vector engine's cost-ordered predicate evaluation; without
     it filters run unhinted (adaptive feedback still applies).
+    ``_split_cache`` keeps PARTITION_SPLIT buckets that share one plan
+    child sharing one built operator — the child must execute once, not
+    once per bucket.
     """
-    children = [
-        build_operator(child, database, estimator) for child in node.children
-    ]
+    if _split_cache is None:
+        _split_cache = {}
     args = dict(node.args)
     kind = node.kind
+    if kind is OpKind.PARTITION_SPLIT:
+        from repro.executor.exchange import PartitionSplitOp, _SplitSource
+
+        shared = node.children[0]
+        source = _split_cache.get(id(shared))
+        if source is None:
+            child_op = build_operator(
+                shared, database, estimator, _split_cache
+            )
+            positions = [
+                shared.properties.schema.position(column)
+                for column in args["columns"]
+            ]
+            source = _SplitSource(child_op, positions, args["count"])
+            _split_cache[id(shared)] = source
+        return PartitionSplitOp(source, args["index"], node.properties.schema)
+    children = [
+        build_operator(child, database, estimator, _split_cache)
+        for child in node.children
+    ]
     if kind is OpKind.TABLE_SCAN:
         return TableScanOp(args["table"], args["alias"], node.properties.schema)
     if kind is OpKind.INDEX_SCAN:
@@ -90,6 +118,7 @@ def build_operator(
             low_inclusive=args.get("low_inclusive", True),
             high_inclusive=args.get("high_inclusive", True),
             descending=args.get("descending", False),
+            partition=args.get("partition"),
         )
     if kind is OpKind.FILTER:
         hints = (
@@ -176,6 +205,25 @@ def build_operator(
         return SortedDistinctOp(children[0])
     if kind is OpKind.DISTINCT_HASH:
         return HashDistinctOp(children[0])
+    if kind is OpKind.PARTITION_SCAN:
+        from repro.executor.exchange import PartitionScanOp
+
+        return PartitionScanOp(
+            args["table"],
+            args["alias"],
+            node.properties.schema,
+            args["partitions"],
+        )
+    if kind is OpKind.GATHER_EXCHANGE:
+        from repro.executor.exchange import GatherExchangeOp
+
+        return GatherExchangeOp(children, node.properties.schema)
+    if kind is OpKind.MERGE_EXCHANGE:
+        from repro.executor.exchange import MergeExchangeOp
+
+        return MergeExchangeOp(
+            children, node.properties.schema, args["order"]
+        )
     raise ExecutionError(f"cannot build operator for {kind}")
 
 

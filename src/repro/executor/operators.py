@@ -292,6 +292,7 @@ class IndexScanOp(PhysicalOperator):
         low_inclusive: bool = True,
         high_inclusive: bool = True,
         descending: bool = False,
+        partition: Optional[int] = None,
     ):
         super().__init__(schema)
         self.table_name = table_name
@@ -302,6 +303,10 @@ class IndexScanOp(PhysicalOperator):
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
         self.descending = descending
+        # Partitioned tables only: scan a single partition's tree (the
+        # leaf of a parallel subtree), charging just that partition's
+        # pages.
+        self.partition = partition
 
     def _batches(self, context: ExecutionContext) -> Iterator[Batch]:
         low = _resolve_bound(self.low)
@@ -314,6 +319,8 @@ class IndexScanOp(PhysicalOperator):
             return
         store = context.database.store(self.table_name)
         index, tree = store.indexes[self.index_name]
+        if self.partition is not None:
+            tree = tree.partition(self.partition)
         directions = [column.direction for column in index.key]
         low_key = (
             encode_index_key(low, directions[: len(low)])
@@ -349,9 +356,10 @@ class IndexScanOp(PhysicalOperator):
         bounds = ""
         if self.low is not None or self.high is not None:
             bounds = f" bounds[{self.low}..{self.high}]"
+        part = f" [part {self.partition}]" if self.partition is not None else ""
         return (
             f"index scan {self.index_name} on {self.table_name} "
-            f"as {self.alias}{direction}{bounds}"
+            f"as {self.alias}{direction}{bounds}{part}"
         )
 
 

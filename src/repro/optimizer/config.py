@@ -36,6 +36,15 @@ class OptimizerConfig:
     # delivered prefixes (shared sort segments). Off under
     # ``disabled()`` via the master switch.
     enable_partial_sort: bool = True
+    # Partitioned storage + parallel exchanges (beyond the paper; the
+    # scale-out sibling of the order property): consider partition-
+    # pruned scans, partition-parallel joins/group-bys, and order-
+    # preserving merge exchanges over range partitions. Off under
+    # ``disabled()`` via the master switch and off in
+    # ``db2_faithful_config()`` (1996 DB2 had no parallel repertoire
+    # here). With the switch off, partitioned tables still execute —
+    # the planner just scans them as one sequential stream.
+    enable_partitioning: bool = True
 
     enable_merge_join: bool = True
     enable_hash_join: bool = True

@@ -459,6 +459,25 @@ def _join_methods(
                 planner, outer_plan, inner_alias, predicates, output_rows
             )
         )
+    if config.effective("enable_partitioning"):
+        from repro.optimizer.parallel import partition_wise_joins
+
+        results.extend(
+            partition_wise_joins(
+                planner,
+                outer_plan,
+                inner_plans,
+                predicates,
+                lambda plan: _dedupe_pairs(
+                    _equi_pairs(
+                        predicates,
+                        outer_columns,
+                        inner_columns_by_plan[id(plan)],
+                    )
+                ),
+                output_rows,
+            )
+        )
     planner.stats.plans_generated += len(results)
     return results
 
@@ -759,7 +778,18 @@ def make_sort(
 def _distinct_prefix_groups(
     planner: PlannerContext, prefix: OrderSpec, rows: float
 ) -> float:
-    """Estimated distinct prefix-value count: NDV product, capped."""
+    """Estimated distinct prefix-value count.
+
+    Prefers the joint NDV from the table's row sample: correlated
+    prefixes (``(year(d), d)``-style, or region/nation pairs) have far
+    fewer real combinations than the per-column NDV product claims,
+    and overestimating groups makes partial sort look too cheap. The
+    product (capped by row count) remains the fallback when the prefix
+    spans tables or no sample exists.
+    """
+    joint = planner.stats_view.joint_ndv([key.column for key in prefix])
+    if joint is not None:
+        return max(1.0, min(joint, max(1.0, rows)))
     groups = 1.0
     for key in prefix:
         stats = planner.stats_view.column_stats(key.column)

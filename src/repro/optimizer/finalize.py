@@ -197,10 +197,14 @@ def _group_output_schema(planner: PlannerContext) -> RowSchema:
 
 
 def _group_output_rows(planner: PlannerContext, input_rows: float) -> float:
-    """Estimated group count: product of grouping-column NDVs, capped."""
+    """Estimated group count: joint NDV when the grouping columns share
+    a sampled base table, else the per-column NDV product — capped."""
     block = planner.block
     if not block.group_columns:
         return 1.0
+    joint = planner.stats_view.joint_ndv(list(block.group_columns))
+    if joint is not None:
+        return max(1.0, min(joint, input_rows))
     groups = 1.0
     for column in block.group_columns:
         stats = planner.stats_view.column_stats(column)
@@ -275,6 +279,16 @@ def _plan_group_by(
     # --- hash-based GROUP BY ---
     if config.enable_hash_group_by:
         variants.append(grouped(plan, hash_based=True))
+
+    # --- partition-wise GROUP BY (pushed below a gather exchange) ---
+    if config.effective("enable_partitioning"):
+        from repro.optimizer.parallel import partitioned_group_by
+
+        parallel = partitioned_group_by(
+            planner, plan, output_schema, aggregate_columns, output_rows
+        )
+        if parallel is not None:
+            variants.append(parallel)
     return variants
 
 

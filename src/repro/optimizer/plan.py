@@ -38,6 +38,10 @@ class OpKind(enum.Enum):
     LIMIT = "limit"
     TOPN = "top-n sort"
     CONCAT = "concat (union all)"
+    PARTITION_SCAN = "partition scan"
+    GATHER_EXCHANGE = "gather exchange"
+    MERGE_EXCHANGE = "merge exchange"
+    PARTITION_SPLIT = "partition split"
 
 
 @dataclass(frozen=True)
@@ -62,7 +66,11 @@ class PlanNode:
         """
         if "derived" in self.args:
             return frozenset((self.args["derived"],))
-        if self.kind in (OpKind.TABLE_SCAN, OpKind.INDEX_SCAN):
+        if self.kind in (
+            OpKind.TABLE_SCAN,
+            OpKind.INDEX_SCAN,
+            OpKind.PARTITION_SCAN,
+        ):
             return frozenset((self.args["alias"],))
         merged = frozenset()
         for child in self.children:
@@ -78,9 +86,11 @@ class PlanNode:
             return f"{kind} {self.args['table']} as {self.args['alias']}"
         if self.kind is OpKind.INDEX_SCAN:
             direction = " backward" if self.args.get("descending") else ""
+            partition = self.args.get("partition")
+            part = f" [part {partition}]" if partition is not None else ""
             return (
                 f"{kind} {self.args['index']} on {self.args['table']} "
-                f"as {self.args['alias']}{direction}"
+                f"as {self.args['alias']}{direction}{part}"
             )
         if self.kind is OpKind.SORT:
             reason = self.args.get("reason")
@@ -129,6 +139,25 @@ class PlanNode:
                 str(c) for c in self.properties.schema.columns
             )
             return f"{kind} [{inner}]"
+        if self.kind is OpKind.PARTITION_SCAN:
+            parts = ",".join(str(p) for p in self.args["partitions"])
+            return (
+                f"{kind} {self.args['table']} as {self.args['alias']} "
+                f"[parts {parts}]"
+            )
+        if self.kind is OpKind.GATHER_EXCHANGE:
+            return f"{kind} ({len(self.children)} streams)"
+        if self.kind is OpKind.MERGE_EXCHANGE:
+            return (
+                f"{kind} {self.args['order']} "
+                f"({len(self.children)} streams)"
+            )
+        if self.kind is OpKind.PARTITION_SPLIT:
+            inner = ", ".join(str(c) for c in self.args["columns"])
+            return (
+                f"{kind} #{self.args['index']} hash({inner}) "
+                f"x{self.args['count']}"
+            )
         return kind
 
     def explain(
@@ -151,11 +180,23 @@ class PlanNode:
         return "\n".join(lines)
 
     def find_all(self, kind: OpKind) -> List["PlanNode"]:
-        """All nodes of a given kind (plan-shape assertions in tests)."""
-        found = [self] if self.kind is kind else []
-        for child in self.children:
-            found.extend(child.find_all(kind))
+        """All nodes of a given kind (plan-shape assertions in tests).
+
+        Visits each physical node once: PARTITION_SPLIT buckets share
+        one child subtree, which executes once and must count once.
+        """
+        found: List["PlanNode"] = []
+        self._find_into(kind, found, set())
         return found
+
+    def _find_into(self, kind: OpKind, found: List["PlanNode"], seen: set) -> None:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        if self.kind is kind:
+            found.append(self)
+        for child in self.children:
+            child._find_into(kind, found, seen)
 
     def sort_count(self) -> int:
         return len(self.find_all(OpKind.SORT))

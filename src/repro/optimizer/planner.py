@@ -390,20 +390,31 @@ def access_paths(planner: PlannerContext, alias: str) -> List[PlanNode]:
     plans: List[PlanNode] = [
         _table_scan_plan(planner, alias, table, predicates, filtered_rows)
     ]
-    for index in planner.database.catalog.indexes_on(table.name):
-        plans.append(
-            _index_scan_plan(
-                planner, alias, table, index, predicates, filtered_rows,
-                descending=False,
-            )
-        )
-        if _descending_scan_useful(planner, index, alias):
+    if table.partitioning is None:
+        for index in planner.database.catalog.indexes_on(table.name):
             plans.append(
                 _index_scan_plan(
                     planner, alias, table, index, predicates, filtered_rows,
-                    descending=True,
+                    descending=False,
                 )
             )
+            if _descending_scan_useful(planner, index, alias):
+                plans.append(
+                    _index_scan_plan(
+                        planner, alias, table, index, predicates,
+                        filtered_rows, descending=True,
+                    )
+                )
+    else:
+        # Indexes on a partitioned table are *local* (one B-tree per
+        # partition): a globally ordered scan is inherently a k-way
+        # merge, which is an exchange — offered by the parallel access
+        # paths below when partitioning is enabled, and not at all
+        # otherwise (point probes for index NLJ still work). Lazy
+        # import: parallel builds on this module.
+        from repro.optimizer.parallel import partitioned_access_paths
+
+        plans.extend(partitioned_access_paths(planner, alias, table))
     planner.stats.plans_generated += len(plans)
     return plans
 

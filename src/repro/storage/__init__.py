@@ -10,6 +10,11 @@ and big-block I/O.
 from repro.storage.buffer import BufferPool, IoStats
 from repro.storage.heap import HeapFile, Rid
 from repro.storage.btree import BPlusTree
+from repro.storage.partition import (
+    PartitionedHeap,
+    PartitionedTree,
+    rid_partition,
+)
 from repro.storage.database import Database, StoredTable
 
 __all__ = [
@@ -18,6 +23,9 @@ __all__ = [
     "HeapFile",
     "Rid",
     "BPlusTree",
+    "PartitionedHeap",
+    "PartitionedTree",
+    "rid_partition",
     "Database",
     "StoredTable",
 ]

@@ -16,6 +16,7 @@ from repro.sqltypes import sort_key
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile, Rid
+from repro.storage.partition import PartitionedHeap, PartitionedTree
 
 PAGE_SIZE_BYTES = 4096
 
@@ -46,7 +47,22 @@ class StoredTable:
         self.schema = schema
         rows_per_page = max(1, PAGE_SIZE_BYTES // max(1, schema.row_width()))
         self.rows_per_page = rows_per_page
-        self.heap = HeapFile(f"heap:{schema.name}", buffer_pool, rows_per_page)
+        self.partitioning = schema.partitioning
+        if self.partitioning is not None:
+            self.heap: HeapFile = PartitionedHeap(
+                schema.name,
+                buffer_pool,
+                rows_per_page,
+                self.partitioning.partition_count,
+            )
+            self._partition_positions: List[int] = [
+                schema.position(name) for name in self.partitioning.columns
+            ]
+        else:
+            self.heap = HeapFile(
+                f"heap:{schema.name}", buffer_pool, rows_per_page
+            )
+            self._partition_positions = []
         self.indexes: Dict[str, Tuple[Index, BPlusTree]] = {}
         self._buffer_pool = buffer_pool
         self._key_positions: List[Tuple[Tuple[str, ...], List[int]]] = [
@@ -69,11 +85,24 @@ class StoredTable:
                 )
             seen.add(values)
 
+    def _append(self, row: Tuple[Any, ...]) -> Rid:
+        """Store one validated row, routing to its partition if any.
+
+        Key enforcement stays global (``_check_keys`` runs before this),
+        so partitioning never weakens uniqueness.
+        """
+        if self.partitioning is None:
+            return self.heap.append(row)
+        partition = self.partitioning.route(
+            [row[position] for position in self._partition_positions]
+        )
+        return self.heap.append_to(partition, row)
+
     def insert(self, row: Sequence[Any]) -> Rid:
         """Validate, key-check, store, and index one row."""
         coerced = self.schema.validate_row(row)
         self._check_keys(coerced)
-        rid = self.heap.append(coerced)
+        rid = self._append(coerced)
         for index, tree in self.indexes.values():
             tree.insert(self._index_key(index, coerced), rid)
         return rid
@@ -89,7 +118,7 @@ class StoredTable:
             validated.append(coerced)
             count += 1
         self.heap.truncate()
-        rids = [self.heap.append(row) for row in validated]
+        rids = [self._append(row) for row in validated]
         for index, tree in self.indexes.values():
             tree.bulk_load(
                 [
@@ -110,7 +139,17 @@ class StoredTable:
     def add_index(self, index: Index, fanout: int = 64) -> BPlusTree:
         if index.name in self.indexes:
             raise StorageError(f"index {index.name} already stored")
-        tree = BPlusTree(f"index:{index.name}", self._buffer_pool, fanout)
+        if self.partitioning is not None:
+            # Per-partition trees, co-partitioned with the heap via the
+            # partition encoded in each RID.
+            tree: BPlusTree = PartitionedTree(
+                index.name,
+                self._buffer_pool,
+                fanout,
+                self.partitioning.partition_count,
+            )
+        else:
+            tree = BPlusTree(f"index:{index.name}", self._buffer_pool, fanout)
         entries = [
             (self._index_key(index, row), rid) for rid, row in self.heap.scan()
         ]

@@ -3,7 +3,7 @@
 Extracted and generalized from the original hand-rolled fuzz fixture in
 ``tests/integration/test_fuzz_queries.py``. A :class:`SchemaGen` builds a
 star-shaped :class:`SchemaSpec` (one fact table, a configurable number of
-child/dimension tables, randomized key and index shapes); a
+child/dimension tables, randomized key, index, and partitioning shapes); a
 :class:`QueryGenerator` then produces :class:`QuerySpec` values over that
 schema covering joins (inner and left outer), filters, grouping with
 every aggregate kind, DISTINCT, mixed-direction ORDER BY, FETCH FIRST,
@@ -27,7 +27,14 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.catalog import Column, Index, TableSchema
+from repro.catalog import (
+    Column,
+    Index,
+    PartitionSpec,
+    TableSchema,
+    hash_spec,
+    range_spec,
+)
 from repro.sqltypes import DATE, INTEGER, varchar
 from repro.storage import Database
 
@@ -79,6 +86,7 @@ class TableSpec:
         default_factory=list
     )
     role: str = "fact"  # fact | child | dim
+    partitioning: Optional[PartitionSpec] = None
 
     @property
     def key_column(self) -> str:
@@ -106,6 +114,7 @@ class SchemaSpec:
                     table.name,
                     list(table.columns),
                     primary_key=table.primary_key or (),
+                    partitioning=table.partitioning,
                 ),
                 rows=list(table.rows),
             )
@@ -196,7 +205,37 @@ def generate_schema(seed: int, config: GenConfig = GenConfig()) -> SchemaSpec:
         else:
             dim_count += 1
             tables.append(_dim_table(rng, config, dim_count))
+    _assign_partitioning(seed, tables)
     return SchemaSpec(tables)
+
+
+def _assign_partitioning(seed: int, tables: List[TableSpec]) -> None:
+    """Hash- or range-partition a random subset of the fact/child tables.
+
+    Draws from an rng stream *independent* of the schema rng so adding
+    partitioning did not perturb the historical row/index draw sequence:
+    a fixed seed still yields the same rows, indexes, and SQL corpus —
+    only the tables' physical layout gained variety. Partition columns
+    are always the table's join key, so declared primary keys remain
+    enforceable by the per-partition trees (all rows sharing a key
+    prefix land in one partition).
+    """
+    rng = random.Random(f"partition-{seed}")
+    for table in tables:
+        if table.role == "dim":
+            continue  # tiny tables: partitioning is pure overhead
+        roll = rng.random()
+        if roll < 0.45:
+            continue
+        key = "id" if table.role == "fact" else "rid"
+        count = rng.choice((2, 3, 4))
+        values = sorted({row[0] for row in table.rows})
+        if roll < 0.75 or len(values) < count:
+            table.partitioning = hash_spec([key], count)
+        else:
+            step = len(values) // count
+            boundaries = [values[step * i] for i in range(1, count)]
+            table.partitioning = range_spec([key], boundaries)
 
 
 def _child_table(

@@ -50,16 +50,17 @@ from repro.verify.reference import reference_query
 # Config matrices
 # ----------------------------------------------------------------------
 
-_MATRIX_FEATURES = ("red", "cov", "sa", "hash", "od", "ps")
+_MATRIX_FEATURES = ("red", "cov", "sa", "hash", "od", "ps", "part")
 
 
 def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
     """Every combination of reduction/cover/sort-ahead/hash-operators/
-    order-dependencies/partial-sort (64 configs), plus the paper's
-    master-switch-off baseline."""
+    order-dependencies/partial-sort/partitioning (128 configs), plus
+    the paper's master-switch-off baseline."""
     configs: Dict[str, OptimizerConfig] = {}
-    for bits in range(64):
-        red, cov, sa, hash_ops, od, ps = (
+    for bits in range(128):
+        red, cov, sa, hash_ops, od, ps, part = (
+            bool(bits & 64),
             bool(bits & 32),
             bool(bits & 16),
             bool(bits & 8),
@@ -70,7 +71,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
         name = "".join(
             flag if on else flag.upper()
             for flag, on in zip(
-                _MATRIX_FEATURES, (red, cov, sa, hash_ops, od, ps)
+                _MATRIX_FEATURES, (red, cov, sa, hash_ops, od, ps, part)
             )
         )
         configs[name] = OptimizerConfig(
@@ -81,6 +82,7 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
             enable_hash_group_by=hash_ops,
             use_order_dependencies=od,
             enable_partial_sort=ps,
+            enable_partitioning=part,
         )
     if include_disabled:
         configs["disabled"] = OptimizerConfig.disabled()
@@ -88,8 +90,8 @@ def full_matrix(include_disabled: bool = True) -> Dict[str, OptimizerConfig]:
 
 
 def tier1_matrix() -> Dict[str, OptimizerConfig]:
-    """The historical fuzz configs plus the OD-off and partial-sort-off
-    builds — the cheap tier-1 subset."""
+    """The historical fuzz configs plus the OD-off, partial-sort-off,
+    and partitioning-off builds — the cheap tier-1 subset."""
     return {
         "full": OptimizerConfig(),
         "disabled": OptimizerConfig.disabled(),
@@ -99,6 +101,7 @@ def tier1_matrix() -> Dict[str, OptimizerConfig]:
         "no-sortahead": OptimizerConfig(enable_sort_ahead=False),
         "no-od": OptimizerConfig(use_order_dependencies=False),
         "no-partial-sort": OptimizerConfig(enable_partial_sort=False),
+        "no-partitioning": OptimizerConfig(enable_partitioning=False),
     }
 
 

@@ -3,11 +3,41 @@
 from __future__ import annotations
 
 import random
+import threading
+import time
 
 import pytest
 
 from repro import Column, Database, Index, TableSchema
+from repro.catalog import hash_spec, range_spec
 from repro.sqltypes import DATE, INTEGER, decimal_type, varchar
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_exchange_workers():
+    """Exchange teardown must join every ``repro-exch-*`` worker.
+
+    The exchange operators promise no stranded partition workers on any
+    exit path — success, error, cancellation, or an abandoned
+    generator. This suite-wide guard fails any test that returns while
+    one is still alive (a short grace window absorbs threads mid-exit).
+    """
+    yield
+    deadline = time.monotonic() + 5.0
+    while True:
+        leaked = [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-exch-") and thread.is_alive()
+        ]
+        if not leaked:
+            return
+        if time.monotonic() > deadline:
+            pytest.fail(
+                "exchange worker threads leaked past the test: "
+                + ", ".join(thread.name for thread in leaked)
+            )
+        time.sleep(0.01)
 
 
 @pytest.fixture
@@ -94,6 +124,84 @@ def warehouse_db() -> Database:
     db.create_index(Index.on("dim_k", "dim", ["k"], unique=True, clustered=True))
     db.create_index(Index.on("fact_k", "fact", ["k"], clustered=True))
     db.create_index(Index.on("detail_d", "detail", ["d"], clustered=True))
+    return db
+
+
+@pytest.fixture(scope="session")
+def partitioned_db() -> Database:
+    """Partitioned tables for exchange/parallel-plan tests.
+
+    ``orders`` is range-partitioned on ``odate`` with a clustered
+    per-partition (local) index on it — the shape that lets a merge
+    exchange deliver ``ORDER BY odate`` with zero sorts. ``lineitem``
+    and ``orders2`` are hash-co-partitioned on ``okey`` for
+    partition-wise joins; ``cust`` stays unpartitioned.
+    Session-scoped and treated as read-only by tests.
+    """
+    rng = random.Random(7)
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("okey", INTEGER, nullable=False),
+                Column("custkey", INTEGER, nullable=False),
+                Column("total", INTEGER, nullable=False),
+                Column("odate", INTEGER, nullable=False),
+            ],
+            primary_key=("okey",),
+            partitioning=range_spec(["odate"], [250, 500, 750]),
+        ),
+        rows=[
+            (i, rng.randrange(100), rng.randrange(10_000), rng.randrange(1000))
+            for i in range(2000)
+        ],
+    )
+    db.create_index(
+        Index.on("orders_odate", "orders", ("odate",), clustered=True)
+    )
+    db.create_table(
+        TableSchema(
+            "cust",
+            [
+                Column("custkey", INTEGER, nullable=False),
+                Column("name", varchar(20), nullable=False),
+                Column("nation", INTEGER, nullable=False),
+            ],
+            primary_key=("custkey",),
+        ),
+        rows=[(i, f"c{i}", rng.randrange(25)) for i in range(100)],
+    )
+    db.create_table(
+        TableSchema(
+            "lineitem",
+            [
+                Column("okey", INTEGER, nullable=False),
+                Column("lnum", INTEGER, nullable=False),
+                Column("qty", INTEGER, nullable=False),
+            ],
+            primary_key=("okey", "lnum"),
+            partitioning=hash_spec(["okey"], 4),
+        ),
+        rows=[
+            (o, line, rng.randrange(50))
+            for o in range(2000)
+            for line in range(rng.randrange(1, 4))
+        ],
+    )
+    db.create_table(
+        TableSchema(
+            "orders2",
+            [
+                Column("okey", INTEGER, nullable=False),
+                Column("pri", INTEGER, nullable=False),
+            ],
+            primary_key=("okey",),
+            partitioning=hash_spec(["okey"], 4),
+        ),
+        rows=[(i, rng.randrange(5)) for i in range(2000)],
+    )
+    db.analyze_all()
     return db
 
 

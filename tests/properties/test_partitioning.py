@@ -1,0 +1,118 @@
+"""PartitioningProperty: the lattice, colocation test, and propagation."""
+
+import pytest
+
+from repro.core.context import OrderContext
+from repro.core.equivalence import EquivalenceClasses
+from repro.expr.nodes import ColumnRef
+from repro.properties.partitioning import (
+    SINGLETON,
+    PartitioningProperty,
+    hash_partitioning,
+    range_partitioning,
+    round_robin,
+)
+
+A = ColumnRef("t", "a")
+B = ColumnRef("t", "b")
+C = ColumnRef("t", "c")
+X = ColumnRef("u", "x")
+
+
+class TestConstruction:
+    def test_singleton_takes_no_columns(self):
+        assert SINGLETON.is_singleton
+        with pytest.raises(ValueError):
+            PartitioningProperty("singleton", (A,), 1)
+
+    def test_parallel_kinds_need_counts_and_columns(self):
+        with pytest.raises(ValueError):
+            hash_partitioning((A,), 1)
+        with pytest.raises(ValueError):
+            PartitioningProperty("hash", (), 4)
+        with pytest.raises(ValueError):
+            PartitioningProperty("roundrobin", (A,), 4)
+        with pytest.raises(ValueError):
+            PartitioningProperty("striped", (A,), 4)
+
+
+class TestRestrictedAndRenamed:
+    def test_projection_keeping_columns_preserves_partitioning(self):
+        part = hash_partitioning((A, B), 4)
+        assert part.restricted({A, B, C}) == part
+
+    def test_projection_dropping_a_partition_column_degrades(self):
+        part = range_partitioning((A, B), 3)
+        degraded = part.restricted({A, C})
+        assert degraded == round_robin(3)
+        # Round-robin and singleton are fixed points.
+        assert degraded.restricted(set()) == degraded
+        assert SINGLETON.restricted(set()) == SINGLETON
+
+    def test_rename_maps_or_degrades(self):
+        part = hash_partitioning((A,), 4)
+        assert part.renamed({A: X}) == hash_partitioning((X,), 4)
+        assert part.renamed({B: X}) == round_robin(4)
+
+
+class TestColocates:
+    def test_singleton_colocates_anything(self):
+        assert SINGLETON.colocates((A, B), OrderContext())
+
+    def test_round_robin_colocates_nothing(self):
+        assert not round_robin(4).colocates((A,), OrderContext())
+
+    def test_exact_and_equivalent_columns_colocate(self):
+        part = hash_partitioning((A,), 4)
+        assert part.colocates((A, B), OrderContext())
+        assert not part.colocates((B,), OrderContext())
+        equiv = OrderContext(
+            equivalences=EquivalenceClasses([(A, B)])
+        )
+        assert part.colocates((B,), equiv)
+
+    def test_constant_partition_columns_are_ignored(self):
+        part = hash_partitioning((A, B), 4)
+        assert not part.colocates((B,), OrderContext())
+        assert part.colocates((B,), OrderContext(constants=(A,)))
+
+
+class TestAligned:
+    def test_hash_alignment_via_join_equivalence(self):
+        outer = hash_partitioning((A,), 4)
+        inner = hash_partitioning((X,), 4)
+        assert outer.aligned(inner, EquivalenceClasses([(A, X)]))
+        assert not outer.aligned(inner, EquivalenceClasses())
+        assert not outer.aligned(
+            hash_partitioning((X,), 8), EquivalenceClasses([(A, X)])
+        )
+
+    def test_range_sides_never_align_by_equivalence(self):
+        # Range boundary lists are per-table; equal values need not
+        # route to equal partition indexes, so alignment is hash-only.
+        left = range_partitioning((A,), 4)
+        right = range_partitioning((X,), 4)
+        assert not left.aligned(right, EquivalenceClasses([(A, X)]))
+
+
+class TestPlanPropagation:
+    """Partitioning claims on real optimizer plans (partitioned_db)."""
+
+    def test_partition_scan_leaf_claims_table_partitioning(
+        self, partitioned_db
+    ):
+        from repro.api import plan_query
+        from repro.optimizer.plan import OpKind
+
+        plan = plan_query(
+            partitioned_db, "select okey, qty from lineitem"
+        )
+        gathers = plan.find_all(OpKind.GATHER_EXCHANGE)
+        assert gathers, plan.explain()
+        child = gathers[0].children[0]
+        part = child.properties.partitioning
+        assert part.kind == "hash"
+        assert part.count == 4
+        assert part.columns == (ColumnRef("lineitem", "okey"),)
+        # The exchange itself hands a singleton stream to the classics.
+        assert gathers[0].properties.partitioning.is_singleton

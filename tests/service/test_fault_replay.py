@@ -93,6 +93,73 @@ def test_corpus_survives_deadline_faults(harness, mode):
         assert service.query(queries[0]).rows == baseline[0]
 
 
+PARTITIONED_SEED = 8  # this seed hash-partitions both fact and child
+
+
+def per_token_maxima(service, queries):
+    """Per statement: the checkpoint count of its busiest token.
+
+    A partitioned plan runs several tokens at once (the statement's own
+    plus one per exchange worker); faults trip each token at its *own*
+    Nth checkpoint, so the statement fails iff its busiest token
+    reaches the threshold — which is what this measures.
+    """
+    from collections import Counter
+
+    tally = Counter()
+
+    def hook(token):
+        tally[id(token)] += 1
+
+    previous = set_fault_hook(hook)
+    maxima = []
+    try:
+        for sql in queries:
+            tally.clear()
+            service.query(sql)
+            maxima.append(max(tally.values(), default=0))
+    finally:
+        set_fault_hook(previous)
+    return maxima
+
+
+def test_partitioned_corpus_worker_faults_are_typed_and_clean():
+    """Corpus replay over partitioned tables: timing out individual
+    partition workers surfaces the typed error at the gather point,
+    strands no threads (suite-wide autouse guard), and leaves
+    fault-free statements byte-identical."""
+    schema = generate_schema(PARTITIONED_SEED)
+    assert any(t.partitioning is not None for t in schema.tables)
+    generator = QueryGenerator(schema, PARTITIONED_SEED)
+    queries = [generator.generate().sql() for _ in range(20)]
+    db = schema.build()
+    with QueryService(db, workers=1) as service:
+        baseline = [service.query(sql).rows for sql in queries]
+        maxima = per_token_maxima(service, queries)
+        threshold = sorted(maxima)[len(maxima) // 2]
+        victims = [i for i, n in enumerate(maxima) if n >= threshold]
+        survivors = [i for i, n in enumerate(maxima) if n < threshold]
+        assert victims and survivors
+
+        with inject_token_faults(after_checks=threshold, kind="timeout"):
+            outcomes = []
+            for sql in queries:
+                try:
+                    outcomes.append(("rows", service.query(sql).rows))
+                except QueryTimeout:
+                    outcomes.append(("timeout", None))
+
+        for index in survivors:
+            verdict, rows = outcomes[index]
+            assert verdict == "rows", queries[index]
+            assert rows == baseline[index], queries[index]
+        for index in victims:
+            assert outcomes[index][0] == "timeout", queries[index]
+        assert all(worker.is_alive() for worker in service._workers)
+        # Hook gone: partitioned plans run clean again.
+        assert service.query(queries[0]).rows == baseline[0]
+
+
 def test_injected_cancel_is_typed_and_non_fatal(harness):
     db, queries = harness
     with QueryService(db, workers=1) as service:

@@ -34,7 +34,7 @@ def tiny_db():
 
 def test_full_matrix_covers_all_toggle_combinations():
     configs = full_matrix()
-    assert len(configs) == 65  # 2^6 feature combos + master-off baseline
+    assert len(configs) == 129  # 2^7 feature combos + master-off baseline
     combos = {
         (
             c.enable_reduction,
@@ -43,11 +43,12 @@ def test_full_matrix_covers_all_toggle_combinations():
             c.enable_hash_join,
             c.use_order_dependencies,
             c.enable_partial_sort,
+            c.enable_partitioning,
         )
         for name, c in configs.items()
         if name != "disabled"
     }
-    assert len(combos) == 64
+    assert len(combos) == 128
     assert not configs["disabled"].order_optimization
     for config in configs.values():
         assert config.enable_hash_join == config.enable_hash_group_by
@@ -61,6 +62,7 @@ def test_tier1_matrix_matches_historical_configs():
         "no-sortahead",
         "no-od",
         "no-partial-sort",
+        "no-partitioning",
     }
 
 
@@ -144,4 +146,4 @@ def test_small_fuzz_run_green():
     report = run_fuzz(seed=99, n=10, configs=tier1_matrix())
     assert report.ok, report.summary()
     assert report.queries == 10
-    assert report.executions == 60
+    assert report.executions == 70  # 10 queries x 7 tier-1 configs
