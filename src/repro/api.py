@@ -40,6 +40,9 @@ class QueryResult:
     # "hit" / "miss" when the statement went through a plan cache,
     # None when it was planned directly.
     cache_status: Optional[str] = None
+    # Per-node estimate-vs-actual observations when the execution ran
+    # with observe=True (the workload feedback loop's input).
+    observations: Optional[list] = None
 
     @property
     def simulated_elapsed_ms(self) -> float:
@@ -133,6 +136,7 @@ def execute(
     reset_io: bool = True,
     cache_status: Optional[str] = None,
     cancel_token: Optional[CancelToken] = None,
+    observe: bool = False,
 ) -> QueryResult:
     """Execute an existing plan, measuring real and simulated time.
 
@@ -145,6 +149,9 @@ def execute(
     ``cancel_token`` arms the operators' cooperative checkpoints — a
     tripped token raises :class:`~repro.errors.QueryTimeout` /
     :class:`~repro.errors.QueryCancelled` out of the batch loops.
+    ``observe=True`` additionally joins each plan node's estimated
+    cardinality against the rows its operator actually produced and
+    returns the per-node list in ``QueryResult.observations``.
     """
     if reset_io:
         database.reset_io(cold=cold_cache)
@@ -155,7 +162,8 @@ def execute(
         if cancel_token is not None:
             kwargs["cancel_token"] = cancel_token
         context = ExecutionContext(database, **kwargs)
-    operator = build_executor(plan, database)
+    node_map = {} if observe else None
+    operator = build_executor(plan, database, node_map=node_map)
     started = time.perf_counter()
     with parameter_scope(parameters):
         rows = operator.execute(context)
@@ -164,6 +172,11 @@ def execute(
     analyzed = operator.explain(analyze=context)
     if cache_status is not None:
         analyzed = f"{analyzed}\nplan cache: {cache_status}"
+    observations = None
+    if observe:
+        from repro.executor.feedback import observe_execution
+
+        observations = observe_execution(plan, node_map, context)
     return QueryResult(
         rows=rows,
         column_names=plan.output_names,
@@ -175,4 +188,5 @@ def execute(
         exec_mode=context.mode,
         analyzed=analyzed,
         cache_status=cache_status,
+        observations=observations,
     )

@@ -7,6 +7,7 @@ indexes (whose key order becomes an order property of index scans).
 
 from repro.catalog.column import Column
 from repro.catalog.partition import PartitionSpec, hash_spec, range_spec
+from repro.catalog.overrides import StatsCorrections, StatsOverrides
 from repro.catalog.stats import ColumnStats, Histogram, TableStats
 from repro.catalog.table import TableSchema
 from repro.catalog.index import Index, IndexColumn
@@ -22,6 +23,8 @@ __all__ = [
     "IndexColumn",
     "Catalog",
     "PartitionSpec",
+    "StatsCorrections",
+    "StatsOverrides",
     "hash_spec",
     "range_spec",
 ]

@@ -6,6 +6,7 @@ import itertools
 from typing import Dict, List
 
 from repro.catalog.index import Index
+from repro.catalog.overrides import StatsCorrections, StatsOverrides
 from repro.catalog.table import TableSchema
 from repro.errors import CatalogError
 
@@ -40,10 +41,34 @@ class Catalog:
         self.identity = next(_IDENTITIES)
         self.version = 0
         self.stats_version = 0
+        # Workload-feedback corrections. Living on the instance makes
+        # them scoped to this identity by construction; application
+        # goes through apply_feedback so stats_version always moves.
+        self.stats_overrides = StatsOverrides()
 
     def note_stats_refresh(self) -> None:
         """Record that table statistics changed (plans may now differ)."""
         self.stats_version += 1
+
+    def apply_feedback(self, corrections: StatsCorrections) -> int:
+        """Merge workload-feedback corrections into the override store.
+
+        Returns the number of entries that landed. A non-empty batch
+        bumps ``stats_version`` exactly like an ``analyze_*`` refresh,
+        so every cached plan priced against the older estimates is
+        invalidated through the normal machinery rather than replayed.
+        """
+        merged = self.stats_overrides.merge(corrections)
+        if merged:
+            self.note_stats_refresh()
+        return merged
+
+    def clear_feedback(self) -> int:
+        """Drop all feedback overrides (and invalidate affected plans)."""
+        cleared = self.stats_overrides.clear()
+        if cleared:
+            self.note_stats_refresh()
+        return cleared
 
     def create_table(self, schema: TableSchema) -> TableSchema:
         key = schema.name.lower()

@@ -1,0 +1,106 @@
+"""Runtime statistics overrides from workload feedback.
+
+The workload loop (:mod:`repro.workload`) compares each plan node's
+estimated cardinality against the rows the executor actually produced
+and distills the misestimates into *corrections*: adjusted NDVs,
+adjusted joint NDVs, and observed selectivities keyed by predicate
+fingerprint. Those corrections land here, on the catalog, because the
+catalog is the unit of cache identity: overrides are inherently scoped
+to one ``Catalog.identity`` (they live on the instance) and every
+applied batch bumps ``stats_version``, so cached plans built against
+older estimates become unreachable through the normal invalidation
+machinery — never silently replayed against corrected statistics.
+
+Fingerprints are computed over *parameterized* predicate shapes
+(:func:`repro.cost.estimate.conjunction_fingerprint`), so an override
+summarizes every binding of a statement class. That is deliberate:
+plans are cached and re-bound, so a plan-time estimate can never
+depend on one host-variable value anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass
+class StatsCorrections:
+    """One batch of feedback-derived corrections, before application.
+
+    Keys are lower-cased table/column names; joint-NDV column sets are
+    sorted so lookup is order-insensitive, matching
+    ``TableStats.joint_ndv`` semantics (distinct combinations do not
+    depend on column order).
+    """
+
+    ndv: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    joint_ndv: Dict[Tuple[str, Tuple[str, ...]], float] = field(
+        default_factory=dict
+    )
+    selectivity: Dict[str, float] = field(default_factory=dict)
+
+    def add_ndv(self, table: str, column: str, value: float) -> None:
+        self.ndv[(table.lower(), column.lower())] = max(1.0, float(value))
+
+    def add_joint_ndv(
+        self, table: str, columns: Sequence[str], value: float
+    ) -> None:
+        key = (table.lower(), tuple(sorted(c.lower() for c in columns)))
+        self.joint_ndv[key] = max(1.0, float(value))
+
+    def add_selectivity(self, fingerprint: str, value: float) -> None:
+        self.selectivity[fingerprint] = min(1.0, max(1e-9, float(value)))
+
+    def __len__(self) -> int:
+        return len(self.ndv) + len(self.joint_ndv) + len(self.selectivity)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+class StatsOverrides:
+    """Accumulated corrections consulted by :class:`~repro.cost.estimate.StatsView`.
+
+    Mutate only through :meth:`Catalog.apply_feedback` — direct merges
+    would skip the ``stats_version`` bump and leave stale cached plans
+    reachable.
+    """
+
+    def __init__(self) -> None:
+        self._ndv: Dict[Tuple[str, str], float] = {}
+        self._joint: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+        self._selectivity: Dict[str, float] = {}
+        self.applied_batches = 0
+
+    def ndv(self, table: str, column: str) -> Optional[float]:
+        return self._ndv.get((table.lower(), column.lower()))
+
+    def joint_ndv(
+        self, table: str, columns: Sequence[str]
+    ) -> Optional[float]:
+        key = (table.lower(), tuple(sorted(c.lower() for c in columns)))
+        return self._joint.get(key)
+
+    def selectivity(self, fingerprint: str) -> Optional[float]:
+        return self._selectivity.get(fingerprint)
+
+    def merge(self, corrections: StatsCorrections) -> int:
+        """Fold a correction batch in; returns how many entries landed."""
+        self._ndv.update(corrections.ndv)
+        self._joint.update(corrections.joint_ndv)
+        self._selectivity.update(corrections.selectivity)
+        count = len(corrections)
+        if count:
+            self.applied_batches += 1
+        return count
+
+    def clear(self) -> int:
+        count = len(self._ndv) + len(self._joint) + len(self._selectivity)
+        self._ndv.clear()
+        self._joint.clear()
+        self._selectivity.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._ndv) + len(self._joint) + len(self._selectivity)

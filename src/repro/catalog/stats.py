@@ -8,6 +8,7 @@ and null counts. Statistics are gathered by scanning loaded data
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, Sequence
 
@@ -52,8 +53,6 @@ class Histogram:
 
     def fraction_below(self, value: Any) -> float:
         """Estimated fraction of rows with column value <= ``value``."""
-        import bisect
-
         try:
             target = _numeric(value)
         except TypeError:
@@ -92,21 +91,40 @@ class ColumnStats:
     null_count: int = 0
     histogram: Optional[Histogram] = None
 
+    def not_null_fraction(self, row_count: int) -> float:
+        """Fraction of rows where this column is NOT NULL."""
+        if row_count <= 0 or self.null_count <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.null_count / row_count)
+
     def selectivity_equal(self, row_count: int) -> float:
-        """Estimated selectivity of ``col = constant``."""
+        """Estimated selectivity of ``col = constant``.
+
+        ``col = const`` can never match a NULL, so the uniform 1/NDV
+        estimate over non-null values is scaled by the non-null
+        fraction of the table.
+        """
         if self.ndv <= 0:
             return 1.0
-        return 1.0 / self.ndv
+        return self.not_null_fraction(row_count) / self.ndv
 
-    def selectivity_range(self, low: Any, high: Any) -> float:
+    def selectivity_range(
+        self, low: Any, high: Any, row_count: Optional[int] = None
+    ) -> float:
         """Estimated selectivity of a (half-)open range over this column.
 
         Prefers the equi-depth histogram when one was collected; falls
         back to linear interpolation between min and max, and finally to
-        1/3 (the System R default) when nothing is usable.
+        1/3 (the System R default) when nothing is usable. The histogram
+        and min/max only see non-null values, so when ``row_count`` is
+        supplied the fraction is discounted by the non-null share —
+        NULLs satisfy no range predicate.
         """
         if self.histogram is not None:
-            return self.histogram.selectivity_between(low, high)
+            fraction = self.histogram.selectivity_between(low, high)
+            if row_count is not None:
+                fraction *= self.not_null_fraction(row_count)
+            return fraction
         default = 1.0 / 3.0
         if self.low is None or self.high is None:
             return default
@@ -118,8 +136,10 @@ class ColumnStats:
             return default
         start = _numeric(self.low if low is None else low)
         end = _numeric(self.high if high is None else high)
-        fraction = (end - start) / span
-        return min(1.0, max(0.0, fraction))
+        fraction = min(1.0, max(0.0, (end - start) / span))
+        if row_count is not None:
+            fraction *= self.not_null_fraction(row_count)
+        return fraction
 
 
 def _numeric(value: Any) -> float:

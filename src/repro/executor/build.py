@@ -71,6 +71,7 @@ def build_operator(
     database: Database,
     estimator: Optional[SelectivityEstimator] = None,
     _split_cache: Optional[Dict[int, object]] = None,
+    node_map: Optional[Dict[int, PhysicalOperator]] = None,
 ) -> PhysicalOperator:
     """Recursively build the physical operator for one plan node.
 
@@ -79,10 +80,25 @@ def build_operator(
     it filters run unhinted (adaptive feedback still applies).
     ``_split_cache`` keeps PARTITION_SPLIT buckets that share one plan
     child sharing one built operator — the child must execute once, not
-    once per bucket.
+    once per bucket. ``node_map`` (optional) records
+    ``id(plan_node) -> operator`` for every node built, letting the
+    workload loop join plan estimates against executed metrics.
     """
     if _split_cache is None:
         _split_cache = {}
+    operator = _build_node(node, database, estimator, _split_cache, node_map)
+    if node_map is not None:
+        node_map[id(node)] = operator
+    return operator
+
+
+def _build_node(
+    node: PlanNode,
+    database: Database,
+    estimator: Optional[SelectivityEstimator],
+    _split_cache: Dict[int, object],
+    node_map: Optional[Dict[int, PhysicalOperator]],
+) -> PhysicalOperator:
     args = dict(node.args)
     kind = node.kind
     if kind is OpKind.PARTITION_SPLIT:
@@ -92,7 +108,7 @@ def build_operator(
         source = _split_cache.get(id(shared))
         if source is None:
             child_op = build_operator(
-                shared, database, estimator, _split_cache
+                shared, database, estimator, _split_cache, node_map
             )
             positions = [
                 shared.properties.schema.position(column)
@@ -102,7 +118,7 @@ def build_operator(
             _split_cache[id(shared)] = source
         return PartitionSplitOp(source, args["index"], node.properties.schema)
     children = [
-        build_operator(child, database, estimator, _split_cache)
+        build_operator(child, database, estimator, _split_cache, node_map)
         for child in node.children
     ]
     if kind is OpKind.TABLE_SCAN:
@@ -227,7 +243,11 @@ def build_operator(
     raise ExecutionError(f"cannot build operator for {kind}")
 
 
-def build_executor(plan: Plan, database: Database) -> PhysicalOperator:
+def build_executor(
+    plan: Plan,
+    database: Database,
+    node_map: Optional[Dict[int, PhysicalOperator]] = None,
+) -> PhysicalOperator:
     """Operator tree for a whole plan.
 
     Host variables resolve per execution — install bindings with
@@ -236,9 +256,13 @@ def build_executor(plan: Plan, database: Database) -> PhysicalOperator:
     tables: Dict[str, object] = {}
     _plan_tables(plan.root, database, tables)
     estimator = (
-        SelectivityEstimator(StatsView(tables)) if tables else None
+        SelectivityEstimator(
+            StatsView(tables, overrides=database.catalog.stats_overrides)
+        )
+        if tables
+        else None
     )
-    return build_operator(plan.root, database, estimator)
+    return build_operator(plan.root, database, estimator, node_map=node_map)
 
 
 def execute_plan(

@@ -340,6 +340,36 @@ def _apply_having(planner: PlannerContext, plan: PlanNode) -> PlanNode:
 # ----------------------------------------------------------------------
 
 
+def _distinct_output_rows(
+    planner: PlannerContext, columns: List[ColumnRef], input_rows: float
+) -> float:
+    """Estimated distinct row count over the output columns.
+
+    Mirrors GROUP BY's estimate: joint NDV when the columns share a
+    sampled base table (correlated pairs stop multiplying), else the
+    per-column NDV product — capped by the input. Computed output
+    columns carry no statistics; when *nothing* has statistics the old
+    halve-the-input heuristic is all that's defensible.
+    """
+    if not columns:
+        return 1.0
+    joint = planner.stats_view.joint_ndv(columns)
+    if joint is not None:
+        return max(1.0, min(joint, input_rows))
+    distinct = 1.0
+    known = False
+    for column in columns:
+        stats = planner.stats_view.column_stats(column)
+        if stats is not None:
+            known = True
+            distinct *= float(stats.ndv)
+        else:
+            distinct *= 10.0
+    if not known:
+        return max(1.0, input_rows * 0.5)
+    return max(1.0, min(distinct, input_rows))
+
+
 def _plan_distinct(
     planner: PlannerContext, plan: PlanNode
 ) -> List[PlanNode]:
@@ -351,7 +381,9 @@ def _plan_distinct(
     projected = _final_projection(planner, plan, mark_projected=True)
     config = planner.config
     columns = list(projected.properties.schema.columns)
-    output_rows = max(1.0, projected.properties.cardinality * 0.5)
+    output_rows = _distinct_output_rows(
+        planner, columns, projected.properties.cardinality
+    )
     context = projected.properties.context()
     general = GeneralOrderSpec.from_distinct(columns)
     variants: List[PlanNode] = []

@@ -11,6 +11,7 @@ properties as it goes".
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
@@ -218,6 +219,17 @@ class Plan:
 
     def explain(self, show_order: bool = True, show_cost: bool = False) -> str:
         return self.root.explain(show_order=show_order, show_cost=show_cost)
+
+    def fingerprint(self) -> str:
+        """Structural identity: operator tree shape plus operator args.
+
+        Deliberately excludes costs, estimated rows, and order
+        annotations, so re-costing a plan under corrected statistics
+        changes the fingerprint only when the chosen *operators*
+        change — the workload loop's plan-change detector.
+        """
+        text = self.root.explain(show_order=False, show_cost=False)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
     def sort_count(self) -> int:
         return self.root.sort_count()

@@ -121,7 +121,9 @@ class PlannerContext:
             for alias, table_name in block.tables.items()
             if not block.is_derived(alias)
         }
-        stats_view = StatsView(tables_by_alias)
+        stats_view = StatsView(
+            tables_by_alias, overrides=database.catalog.stats_overrides
+        )
         context = cls(
             database=database,
             config=config,
@@ -234,8 +236,13 @@ class PlannerContext:
             rows = self.derived_plans[alias][0].properties.cardinality
         else:
             rows = float(self.stats_view.row_count(alias))
-        for predicate in self.local_predicates.get(alias, ()):
-            rows *= self.estimator.selectivity(predicate)
+        # The whole local-predicate list is one observed unit (it
+        # becomes a single FILTER node), so feedback overrides are
+        # consulted for the conjunction before falling back to the
+        # per-predicate independence product.
+        rows *= self.estimator.conjunction_selectivity(
+            self.local_predicates.get(alias, ())
+        )
         return max(1.0, rows)
 
     def is_derived(self, alias: str) -> bool:

@@ -28,7 +28,12 @@ execution); nothing below imports it.
 
 from repro.service.cache import CachedPlan, PlanCache, config_fingerprint
 from repro.service.parameterize import ParameterizedQuery, parameterize
-from repro.service.service import QueryService, ServiceStats, SlowQuery
+from repro.service.service import (
+    PlanRegression,
+    QueryService,
+    ServiceStats,
+    SlowQuery,
+)
 
 __all__ = [
     "CachedPlan",
@@ -36,6 +41,7 @@ __all__ = [
     "config_fingerprint",
     "ParameterizedQuery",
     "parameterize",
+    "PlanRegression",
     "QueryService",
     "ServiceStats",
     "SlowQuery",

@@ -306,3 +306,54 @@ class PlanCache:
                 self._building.pop(key, None)
             barrier.set()
         return plan, bindings, "miss"
+
+    def pin(
+        self,
+        database,
+        sql: str,
+        plan: Plan,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> CacheKey:
+        """Install ``plan`` as the entry for ``sql`` under the catalog's
+        *current* versions.
+
+        This is the regression gate's keep-the-incumbent lever: after a
+        stats bump invalidates a statement's entry and the re-optimized
+        plan turns out worse, pinning re-keys the incumbent under the
+        new ``stats_version`` so subsequent lookups hit it instead of
+        re-planning against the corrected statistics. The plan must
+        come from planning the same statement class (its parameter
+        markers line up with the parameterized text by construction).
+        """
+        from repro.executor.build import build_executor
+        from repro.service.parameterize import _type_name, parameterize
+
+        config = config or OptimizerConfig()
+        parameterized = parameterize(sql)
+        signature = parameterized.type_signature + tuple(
+            f"{name}={_type_name(value)}"
+            for name, value in sorted((parameters or {}).items())
+        )
+        catalog = database.catalog
+        config_key = config_fingerprint(config)
+        key = self.key_for(
+            parameterized.fingerprint,
+            signature,
+            catalog.identity,
+            catalog.version,
+            catalog.stats_version,
+            config_key,
+        )
+        entry = CachedPlan(
+            plan=plan,
+            fingerprint=parameterized.fingerprint,
+            type_signature=signature,
+            catalog_identity=catalog.identity,
+            catalog_version=catalog.version,
+            stats_version=catalog.stats_version,
+            config_key=config_key,
+            warm_operator=build_executor(plan, database),
+        )
+        self.put(key, entry)
+        return key

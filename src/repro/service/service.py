@@ -54,7 +54,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, NamedTuple, Optional
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
 
 from repro.api import QueryResult, execute
 from repro.core.instrument import count
@@ -92,6 +92,24 @@ class SlowQuery(NamedTuple):
     cache_status: str
 
 
+class PlanRegression(NamedTuple):
+    """One plan-regression log record (workload feedback gate).
+
+    ``action`` says how the gate resolved it; the only admitting value
+    today is ``"incumbent-retained"`` — the challenger plan was
+    rejected and the previous plan re-pinned.
+    """
+
+    statement: str
+    incumbent_fingerprint: str
+    challenger_fingerprint: str
+    incumbent_ms: float
+    challenger_ms: float
+    incumbent_sim_io_ms: float
+    challenger_sim_io_ms: float
+    action: str
+
+
 @dataclass
 class ServiceStats:
     """A point-in-time summary of service behaviour."""
@@ -105,6 +123,7 @@ class ServiceStats:
     p50_ms: float
     p95_ms: float
     cache: Dict[str, int] = field(default_factory=dict)
+    plan_regressions: int = 0
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
@@ -152,6 +171,8 @@ class QueryService:
         default_timeout: Optional[float] = None,
         slow_query_ms: float = 500.0,
         slow_log_size: int = 64,
+        feedback_hook: Optional[Callable[[str, QueryResult], None]] = None,
+        collect_observations: bool = False,
     ):
         if workers < 1:
             raise ServiceError("need at least one worker")
@@ -164,6 +185,14 @@ class QueryService:
         self.mode = mode
         self.default_timeout = default_timeout
         self.slow_query_ms = slow_query_ms
+        # Workload feedback: with a hook (or collect_observations),
+        # every execution also joins plan estimates against actual
+        # per-operator rows; the hook receives (sql, result) after the
+        # result is recorded. Hook errors are counted, never fatal.
+        self.feedback_hook = feedback_hook
+        self.collect_observations = collect_observations
+        self._feedback_errors = 0
+        self._regressions: List[PlanRegression] = []
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self._closed = False
         self._lock = threading.Lock()
@@ -321,6 +350,9 @@ class QueryService:
         started = time.perf_counter()
         with self._lock:
             self._inflight += 1
+        observe = (
+            self.feedback_hook is not None or self.collect_observations
+        )
         try:
             plan, bindings, status = self._plan(sql, parameters, config)
             # Planning itself is not checkpointed; charge it against
@@ -334,6 +366,7 @@ class QueryService:
                 reset_io=False,
                 cache_status=status,
                 cancel_token=token,
+                observe=observe,
             )
         finally:
             with self._lock:
@@ -348,6 +381,13 @@ class QueryService:
                 self._slow_log.append(SlowQuery(sql, elapsed_ms, status))
                 count("service.slow_queries")
         count("service.queries")
+        if self.feedback_hook is not None:
+            try:
+                self.feedback_hook(sql, result)
+            except Exception:  # the loop must never kill queries
+                with self._lock:
+                    self._feedback_errors += 1
+                count("service.feedback_errors")
         return result
 
     def _worker_loop(self) -> None:
@@ -398,6 +438,46 @@ class QueryService:
         self.config = config
         return self.cache.invalidate_config(config_fingerprint(config))
 
+    # ------------------------------------------------------------------
+    # Workload feedback
+    # ------------------------------------------------------------------
+
+    def pin_plan(
+        self,
+        sql: str,
+        plan,
+        parameters: Optional[Dict[str, Any]] = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        """Re-key an incumbent plan under the catalog's current versions.
+
+        The regression gate calls this when a feedback-triggered replan
+        made a statement worse: the incumbent goes back into the cache
+        so subsequent executions of the statement class hit it.
+        """
+        self.cache.pin(
+            self.database,
+            sql,
+            plan,
+            parameters=parameters,
+            config=config or self.config,
+        )
+
+    def note_plan_regression(self, record: PlanRegression) -> None:
+        """Append one gate decision to the regression log."""
+        with self._lock:
+            self._regressions.append(record)
+        count("service.plan_regressions")
+
+    def plan_regressions(self) -> List[PlanRegression]:
+        """The plan-regression log, oldest first."""
+        with self._lock:
+            return list(self._regressions)
+
+    def feedback_errors(self) -> int:
+        with self._lock:
+            return self._feedback_errors
+
     def stats(self) -> ServiceStats:
         with self._lock:
             latencies = sorted(self._latencies_ms)
@@ -407,6 +487,7 @@ class QueryService:
             cancelled = self._cancelled
             inflight = self._inflight
             slow = len(self._slow_log)
+            regressions = len(self._regressions)
         return ServiceStats(
             queries=queries,
             rejected=rejected,
@@ -417,6 +498,7 @@ class QueryService:
             p50_ms=_percentile(latencies, 0.50),
             p95_ms=_percentile(latencies, 0.95),
             cache=self.cache.stats(),
+            plan_regressions=regressions,
         )
 
     def slow_queries(self) -> List[SlowQuery]:

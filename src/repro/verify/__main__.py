@@ -9,6 +9,10 @@ Commands:
   queries under the *full* feature-toggle matrix; failures are
   delta-debugged to a minimal repro and printed as pytest cases.
 * ``audit`` — the fixed plan-property audit battery alone.
+* ``fleet [--rounds N]`` — the workload-feedback differential: one
+  feedback round over the skewed fleet under all three executor
+  engines; rows must be byte-identical pre/post feedback and across
+  engines, with no regression admitted by the gate.
 
 Exit status is non-zero when any mismatch survives.
 """
@@ -67,11 +71,23 @@ def main(argv=None) -> int:
 
     commands.add_parser("audit", help="plan-property audit battery")
 
+    fleet = commands.add_parser(
+        "fleet", help="three-engine workload-feedback differential"
+    )
+    fleet.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="literal-rotation rounds (8 statements each, default 4)",
+    )
+
     arguments = parser.parse_args(argv)
     if arguments.command == "smoke":
         return _smoke()
     if arguments.command == "fuzz":
         return _fuzz(arguments)
+    if arguments.command == "fleet":
+        return _fleet(arguments)
     return _audit()
 
 
@@ -130,6 +146,16 @@ def _report_failures(report, do_shrink: bool, configs=None) -> bool:
             print("--- paste into tests/ ---")
             print(result.pytest_case())
     return bool(report.failures)
+
+
+def _fleet(arguments) -> int:
+    from repro.verify.fleet import run_fleet_differential
+
+    report = run_fleet_differential(rounds=arguments.rounds)
+    print(f"fleet differential: {report.summary()}")
+    for failure in report.failures:
+        print(f"  {failure}")
+    return 0 if report.ok() else 1
 
 
 def _audit() -> int:

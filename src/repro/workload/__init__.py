@@ -1,0 +1,43 @@
+"""Workload mode: fleet replay, cardinality feedback, regression gating.
+
+The layer that closes the loop the estimator cannot close alone:
+replay a statement fleet through the query service, join every plan
+node's estimated cardinality against the rows its operator actually
+produced (:mod:`repro.executor.feedback`), distill the misestimates
+into :class:`~repro.catalog.StatsCorrections`, apply them through
+``Catalog.apply_feedback`` (stats_version bump → plan-cache
+invalidation → re-planning), and let a regression gate reject any
+re-optimized plan that replayed worse than its incumbent.
+
+Layering: above ``service`` (it drives a QueryService), below
+``tpcd``/``verify``/``bench`` — which is why the skewed proving-ground
+fleet (:mod:`repro.workload.fleetgen`) builds its own schema instead
+of borrowing TPC-D.
+"""
+
+from repro.workload.feedback import derive_corrections
+from repro.workload.fleet import (
+    FeedbackReport,
+    FleetRunner,
+    FleetStatement,
+    RoundResult,
+    StatementRun,
+)
+from repro.workload.fleetgen import build_skewed_database, build_skewed_fleet
+from repro.workload.gate import GateDecision, RegressionGate
+from repro.workload.qerror import QErrorSummary, summarize
+
+__all__ = [
+    "FeedbackReport",
+    "FleetRunner",
+    "FleetStatement",
+    "GateDecision",
+    "QErrorSummary",
+    "RegressionGate",
+    "RoundResult",
+    "StatementRun",
+    "build_skewed_database",
+    "build_skewed_fleet",
+    "derive_corrections",
+    "summarize",
+]

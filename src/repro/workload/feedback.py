@@ -1,0 +1,82 @@
+"""Distill node observations into statistics corrections.
+
+Two kinds of runtime evidence become corrections:
+
+* **FILTER selectivities** — a FILTER node's ``actual / input`` rows is
+  the true selectivity of its (parameterized) conjunction. Repeated
+  observations of one fingerprint are folded row-weighted (total kept
+  over total seen), which makes heavy bindings dominate exactly as they
+  dominate the workload. The override is value-independent by
+  construction: plans are cached and re-bound, so the estimate has to
+  summarize the whole statement class.
+* **Distinct counts** — a GROUP BY / DISTINCT node over one base
+  table's columns observed N groups, so the (joint) NDV of those
+  columns is at least N. The correction takes the max across
+  observations; filtered inputs make it a lower bound, which is why it
+  only *grows* the estimate's evidence, never invents precision.
+
+Only misestimates above ``min_q_error`` become corrections — rewriting
+estimates that were already right just churns ``stats_version`` and
+invalidates cached plans for nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.catalog import StatsCorrections
+from repro.executor.feedback import NodeObservation
+
+_GROUP_KINDS = {
+    "GROUP_SORTED",
+    "GROUP_HASH",
+    "DISTINCT_SORTED",
+    "DISTINCT_HASH",
+}
+
+
+def derive_corrections(
+    observations: Iterable[NodeObservation],
+    min_q_error: float = 1.5,
+    min_input_rows: int = 8,
+) -> StatsCorrections:
+    """Fold a replay's observations into one correction batch."""
+    corrections = StatsCorrections()
+    # fingerprint -> (total rows kept, total rows seen, worst q-error)
+    filters: Dict[str, Tuple[float, float, float]] = {}
+    # (table, columns) -> (max observed groups, worst q-error)
+    groups: Dict[Tuple[str, Tuple[str, ...]], Tuple[float, float]] = {}
+    for observation in observations:
+        if (
+            observation.predicate_fingerprint is not None
+            and observation.input_rows >= min_input_rows
+        ):
+            kept, seen, worst = filters.get(
+                observation.predicate_fingerprint, (0.0, 0.0, 1.0)
+            )
+            filters[observation.predicate_fingerprint] = (
+                kept + observation.actual_rows,
+                seen + observation.input_rows,
+                max(worst, observation.q_error),
+            )
+        if (
+            observation.ndv_target is not None
+            and observation.kind in _GROUP_KINDS
+            and observation.actual_rows > 0
+        ):
+            best, worst = groups.get(observation.ndv_target, (0.0, 1.0))
+            groups[observation.ndv_target] = (
+                max(best, float(observation.actual_rows)),
+                max(worst, observation.q_error),
+            )
+    for fingerprint, (kept, seen, worst) in filters.items():
+        if worst < min_q_error or seen <= 0:
+            continue
+        corrections.add_selectivity(fingerprint, kept / seen)
+    for (table, columns), (distinct, worst) in groups.items():
+        if worst < min_q_error:
+            continue
+        corrections.add_joint_ndv(table, columns, distinct)
+        if len(columns) == 1:
+            corrections.add_ndv(table, columns[0], distinct)
+    return corrections

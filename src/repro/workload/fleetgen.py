@@ -1,0 +1,164 @@
+"""Deterministic skewed database + statement fleet for the workload loop.
+
+The schema is built to make static estimation wrong in the ways the
+paper-era System-R model is classically wrong:
+
+* ``events.kind`` is heavily skewed (one hot value holds ~60% of the
+  rows) — the uniform 1/NDV equality estimate misses the hot value by
+  an order of magnitude and overestimates every cold one;
+* ``events.amount`` and ``users.score`` are NULL-heavy — pre-fix, the
+  estimator ignored ``null_count`` entirely; post-fix the static
+  discount helps, and feedback sharpens the rest;
+* ``users.region``/``users.segment`` are correlated — the independence
+  product overstates their joint NDV.
+
+Every statement carries a total ORDER BY over a unique key (or the
+full distinct/group key set), so result rows are deterministic and the
+byte-identical pre/post-feedback comparison is meaningful. Literals
+rotate per round; auto-parameterization folds all rotations of one
+class onto a single fingerprint, exactly the granularity at which
+feedback overrides apply.
+
+This generator deliberately builds its own tiny schema rather than
+reusing :mod:`repro.tpcd`: the ``workload`` layer sits *below* tpcd in
+the import order (tools/check_imports.py), and the fleet needs skew
+that the uniform TPC-D generator will not produce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.catalog import Column, Index, TableSchema
+from repro.sqltypes import INTEGER
+from repro.storage import Database
+from repro.workload.fleet import FleetStatement
+
+HOT_KIND = 0
+COLD_KINDS = list(range(1, 30))
+
+
+def build_skewed_database(
+    seed: int = 7,
+    users: int = 400,
+    events: int = 6000,
+) -> Database:
+    """A two-table database with skew, NULLs, and correlation."""
+    rng = random.Random(seed)
+    database = Database()
+
+    user_rows = []
+    for user_id in range(1, users + 1):
+        region = rng.randrange(6)
+        # segment tracks region (correlated): the independence product
+        # says 6 regions x ~13 segments = 78 pairs; reality is ~12.
+        segment = region * 2 + (1 if rng.random() < 0.15 else 0)
+        score = None if rng.random() < 0.5 else rng.randrange(100)
+        user_rows.append((user_id, region, segment, score))
+    database.create_table(
+        TableSchema(
+            "users",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("region", INTEGER, nullable=False),
+                Column("segment", INTEGER, nullable=False),
+                Column("score", INTEGER),
+            ],
+            primary_key=("id",),
+        ),
+        rows=user_rows,
+    )
+
+    event_rows = []
+    for event_id in range(1, events + 1):
+        kind = HOT_KIND if rng.random() < 0.6 else rng.choice(COLD_KINDS)
+        day = rng.randrange(360)
+        amount = None if rng.random() < 0.4 else rng.randrange(1000)
+        user_id = rng.randrange(1, users + 1)
+        event_rows.append((event_id, user_id, kind, day, amount))
+    database.create_table(
+        TableSchema(
+            "events",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("user_id", INTEGER, nullable=False),
+                Column("kind", INTEGER, nullable=False),
+                Column("day", INTEGER, nullable=False),
+                Column("amount", INTEGER),
+            ],
+            primary_key=("id",),
+        ),
+        rows=event_rows,
+    )
+
+    database.create_index(Index.on("users_pk", "users", ["id"], unique=True))
+    database.create_index(
+        Index.on("events_pk", "events", ["id"], unique=True)
+    )
+    database.create_index(Index.on("events_kind", "events", ["kind"]))
+    database.create_index(Index.on("events_day", "events", ["day"]))
+    database.analyze_all()
+    return database
+
+
+def build_skewed_fleet(
+    rounds: int = 15, seed: int = 11
+) -> List[FleetStatement]:
+    """``rounds`` x 8 statement classes, literals rotating per round."""
+    rng = random.Random(seed)
+    fleet: List[FleetStatement] = []
+    for round_index in range(rounds):
+        cold = rng.choice(COLD_KINDS)
+        hot_day = 280 + rng.randrange(60)
+        amount_cut = 700 + rng.randrange(250)
+        score_cut = 40 + rng.randrange(40)
+        group_day = 90 + rng.randrange(180)
+        join_kind = rng.choice(COLD_KINDS)
+        fleet.extend(
+            [
+                FleetStatement(
+                    "cold_kind_eq",
+                    "select id, user_id from events "
+                    f"where kind = {cold} order by id",
+                ),
+                FleetStatement(
+                    "hot_kind_day",
+                    f"select id from events where kind = {HOT_KIND} "
+                    f"and day >= {hot_day} order by id",
+                ),
+                FleetStatement(
+                    "amount_range",
+                    "select id, amount from events "
+                    f"where amount > {amount_cut} order by id",
+                ),
+                FleetStatement(
+                    "score_range",
+                    "select id, region from users "
+                    f"where score >= {score_cut} order by id",
+                ),
+                FleetStatement(
+                    "distinct_pair",
+                    "select distinct region, segment from users "
+                    "order by region, segment",
+                ),
+                FleetStatement(
+                    "group_pair",
+                    "select region, segment, count(*) as n from users "
+                    "group by region, segment order by region, segment",
+                ),
+                FleetStatement(
+                    "group_kind",
+                    "select kind, count(*) as n from events "
+                    f"where day < {group_day} "
+                    "group by kind order by kind",
+                ),
+                FleetStatement(
+                    "join_cold_kind",
+                    "select events.id, users.region from events, users "
+                    "where events.user_id = users.id "
+                    f"and events.kind = {join_kind} order by events.id",
+                ),
+            ]
+        )
+    return fleet

@@ -1,0 +1,88 @@
+"""The plan-regression gate.
+
+Feedback corrections change estimates, estimates change plans — and a
+changed plan is a hypothesis, not an improvement. The gate compares
+each statement's re-optimized execution against its incumbent and
+admits the new plan only when it did not get worse: a regression is a
+*changed* plan fingerprint **and** worse replayed cost, on either the
+simulated-I/O axis (deterministic, tight tolerance) or the wall-clock
+axis (noisy, so a generous tolerance plus an absolute floor keep
+scheduler jitter from condemning good plans).
+
+A regressed statement keeps its incumbent: the gate's caller re-pins
+the old plan under the new ``stats_version`` and logs the decision.
+Feedback can therefore never make a cached workload slower — the worst
+case is a logged no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The gate's verdict for one statement."""
+
+    statement: str
+    plan_changed: bool
+    regressed: bool
+    incumbent_ms: float
+    challenger_ms: float
+    incumbent_sim_io_ms: float
+    challenger_sim_io_ms: float
+
+    @property
+    def admitted(self) -> bool:
+        return not self.regressed
+
+
+class RegressionGate:
+    """Compares an incumbent run against a re-optimized challenger.
+
+    ``io_tolerance`` multiplies simulated I/O (deterministic — a small
+    slack absorbs rounding); ``latency_tolerance`` multiplies wall
+    time, with ``latency_floor_ms`` exempting statements too fast for
+    wall clocks to mean anything.
+    """
+
+    def __init__(
+        self,
+        io_tolerance: float = 1.02,
+        io_floor_ms: float = 0.5,
+        latency_tolerance: float = 2.0,
+        latency_floor_ms: float = 5.0,
+    ):
+        self.io_tolerance = io_tolerance
+        self.io_floor_ms = io_floor_ms
+        self.latency_tolerance = latency_tolerance
+        self.latency_floor_ms = latency_floor_ms
+
+    def evaluate(self, incumbent, challenger) -> GateDecision:
+        """Judge one statement; runs carry ``plan_fingerprint`` /
+        ``elapsed_ms`` / ``simulated_io_ms`` (see
+        :class:`repro.workload.fleet.StatementRun`)."""
+        changed = challenger.plan_fingerprint != incumbent.plan_fingerprint
+        io_worse = challenger.simulated_io_ms > max(
+            incumbent.simulated_io_ms * self.io_tolerance,
+            incumbent.simulated_io_ms + self.io_floor_ms,
+        )
+        wall_worse = (
+            challenger.elapsed_ms
+            > max(
+                incumbent.elapsed_ms * self.latency_tolerance,
+                self.latency_floor_ms,
+            )
+        )
+        regressed = changed and (io_worse or wall_worse)
+        return GateDecision(
+            statement=getattr(
+                incumbent.statement, "name", str(incumbent.statement)
+            ),
+            plan_changed=changed,
+            regressed=regressed,
+            incumbent_ms=incumbent.elapsed_ms,
+            challenger_ms=challenger.elapsed_ms,
+            incumbent_sim_io_ms=incumbent.simulated_io_ms,
+            challenger_sim_io_ms=challenger.simulated_io_ms,
+        )

@@ -1,0 +1,66 @@
+"""Per-operator q-error aggregation.
+
+The q-error of one plan node is ``max(est/act, act/est)`` (both floored
+at one row — :func:`repro.executor.feedback.q_error`). Summaries
+aggregate with the geometric mean, the standard for multiplicative
+errors: a 10x underestimate and a 10x overestimate average to 10x, not
+to "roughly fine".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.executor.feedback import NodeObservation
+
+
+@dataclass
+class QErrorSummary:
+    """Aggregate q-error over a batch of node observations."""
+
+    count: int = 0
+    geomean: float = 1.0
+    mean: float = 1.0
+    p95: float = 1.0
+    worst: float = 1.0
+    by_kind: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> List[dict]:
+        """Flat per-kind rows for reports (sorted worst first)."""
+        return [
+            {"operator": kind, "q_error_geomean": round(value, 3)}
+            for kind, value in sorted(
+                self.by_kind.items(), key=lambda item: -item[1]
+            )
+        ]
+
+
+def summarize(observations: Iterable[NodeObservation]) -> QErrorSummary:
+    """Aggregate q-errors overall and per operator kind."""
+    errors: List[float] = []
+    kind_errors: Dict[str, List[float]] = {}
+    for observation in observations:
+        errors.append(observation.q_error)
+        kind_errors.setdefault(observation.kind, []).append(
+            observation.q_error
+        )
+    if not errors:
+        return QErrorSummary()
+    ordered = sorted(errors)
+    index = min(len(ordered) - 1, int(0.95 * (len(ordered) - 1)))
+    return QErrorSummary(
+        count=len(errors),
+        geomean=_geomean(errors),
+        mean=sum(errors) / len(errors),
+        p95=ordered[index],
+        worst=ordered[-1],
+        by_kind={
+            kind: _geomean(values) for kind, values in kind_errors.items()
+        },
+    )
+
+
+def _geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))

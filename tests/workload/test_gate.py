@@ -1,0 +1,116 @@
+"""The regression gate must keep incumbents when feedback misfires.
+
+Feedback is a heuristic; a bad correction batch can lure the optimizer
+into a genuinely worse plan (the classic failure mode of
+feedback-driven re-optimization). The gate's contract: a re-optimized
+plan is admitted only if its fingerprint is unchanged *or* it replayed
+no worse; otherwise the incumbent is re-pinned under the corrected
+``stats_version`` and the rejection is logged.
+"""
+
+from repro.catalog import StatsCorrections
+from repro.workload import (
+    FleetRunner,
+    FleetStatement,
+    RegressionGate,
+    build_skewed_database,
+)
+from repro.workload.fleet import StatementRun
+
+
+def make_run(fingerprint, elapsed_ms, sim_io_ms):
+    return StatementRun(
+        statement=FleetStatement("s", "select 1"),
+        rows=[],
+        elapsed_ms=elapsed_ms,
+        simulated_io_ms=sim_io_ms,
+        plan_fingerprint=fingerprint,
+        plan=None,
+    )
+
+
+class TestGateSemantics:
+    def setup_method(self):
+        self.gate = RegressionGate()
+
+    def test_same_plan_never_regresses(self):
+        # Identical fingerprint: even a slower replay is noise, not a
+        # plan regression — there is no challenger to reject.
+        incumbent = make_run("aaaa", 10.0, 5.0)
+        challenger = make_run("aaaa", 500.0, 50.0)
+        assert not self.gate.evaluate(incumbent, challenger).regressed
+
+    def test_changed_and_io_worse_regresses(self):
+        incumbent = make_run("aaaa", 10.0, 5.0)
+        challenger = make_run("bbbb", 10.0, 9.0)
+        decision = self.gate.evaluate(incumbent, challenger)
+        assert decision.plan_changed
+        assert decision.regressed
+
+    def test_changed_but_better_is_admitted(self):
+        incumbent = make_run("aaaa", 10.0, 9.0)
+        challenger = make_run("bbbb", 8.0, 5.0)
+        decision = self.gate.evaluate(incumbent, challenger)
+        assert decision.plan_changed
+        assert not decision.regressed
+        assert decision.admitted
+
+    def test_io_floor_absorbs_jitter(self):
+        # A 0.1ms I/O delta under the floor is not a regression even
+        # though it exceeds the relative tolerance.
+        incumbent = make_run("aaaa", 10.0, 0.2)
+        challenger = make_run("bbbb", 10.0, 0.3)
+        assert not self.gate.evaluate(incumbent, challenger).regressed
+
+
+class TestGateKeepsIncumbent:
+    """End-to-end: bogus feedback flips the plan, the gate holds."""
+
+    def test_bogus_selectivity_is_rejected(self):
+        database = build_skewed_database()
+        fleet = [
+            FleetStatement(
+                "hot_kind",
+                "select id from events where kind = 0 order by id",
+            )
+        ]
+        with FleetRunner(database, fleet) as runner:
+            baseline = runner.replay()
+            incumbent = baseline.runs[0]
+            fingerprint = next(
+                obs.predicate_fingerprint
+                for obs in incumbent.observations
+                if obs.predicate_fingerprint
+            )
+            # kind = 0 holds ~60% of events; claim it matches almost
+            # nothing so the optimizer flips to the events_kind index
+            # scan, which replays with far more simulated I/O.
+            bogus = StatsCorrections()
+            bogus.add_selectivity(fingerprint, 1e-6)
+            report = runner.run_feedback_round(corrections=bogus)
+
+            decision = report.decisions[0]
+            assert decision.plan_changed
+            assert decision.regressed
+
+            # Incumbent retained: the final round replays the original
+            # plan and the regression is logged, not admitted.
+            final = report.final.runs[0]
+            assert final.plan_fingerprint == incumbent.plan_fingerprint
+            log = runner.service.plan_regressions()
+            assert len(log) == 1
+            assert log[0].action == "incumbent-retained"
+            assert log[0].statement == "hot_kind"
+            assert (
+                log[0].incumbent_fingerprint == incumbent.plan_fingerprint
+            )
+            assert runner.service.stats().plan_regressions == 1
+
+            # Feedback never changes results.
+            assert report.mismatches() == []
+
+            # The re-pinned incumbent is what the cache now serves.
+            served = runner._run_statement(fleet[0])
+            assert served.plan_fingerprint == incumbent.plan_fingerprint
+            assert served.cache_status == "hit"
+            assert served.rows == incumbent.rows

@@ -43,6 +43,7 @@ LAYERS = [
     "executor",
     "api",
     "service",
+    "workload",
     "tpcd",
     "verify",
     "bench",
